@@ -1,0 +1,15 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark a whole-experiment function with a single timed round.
+
+    The experiments are long-running end-to-end reproductions, not
+    microbenchmarks; one round is the honest measurement.
+    """
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

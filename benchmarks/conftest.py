@@ -1,0 +1,41 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md section 5), times it with pytest-benchmark, and writes the
+rendered rows/series to ``benchmarks/results/<experiment>.txt`` so the
+reproduction output is inspectable after the run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_PAPER_SCALE=1`` for the paper's full run counts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the rendered experiment outputs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one experiment's rendered output to the results directory."""
+
+    def writer(name: str, rendered: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(rendered + "\n")
+        # Also echo to stdout so `pytest -s` shows the tables inline.
+        print(f"\n{rendered}")
+
+    return writer

@@ -1,0 +1,51 @@
+"""Benchmarks: ablations A1-A3 (step size, noise, barrier width)."""
+
+from bench_utils import run_once
+
+from repro.experiments import (
+    ablation_epsilon,
+    ablation_noise,
+    ablation_step_size,
+)
+
+
+def test_ablation_step_size(benchmark, record_result):
+    table = run_once(benchmark, ablation_step_size, seed=0)
+    record_result("ablation_a1_step_size", table.render())
+    adaptive_cost = table.rows[-1][1]
+    assert adaptive_cost <= min(row[1] for row in table.rows[:-1]) * 1.05
+
+
+def test_ablation_noise(benchmark, record_result):
+    table = run_once(benchmark, ablation_noise, seed=0)
+    record_result("ablation_a2_noise", table.render())
+
+
+def test_ablation_epsilon(benchmark, record_result):
+    table = run_once(benchmark, ablation_epsilon, seed=0)
+    record_result("ablation_a3_epsilon", table.render())
+    # Smaller barriers admit smaller minimum entries.
+    assert table.rows[-1][3] <= table.rows[0][3] + 1e-9
+
+
+def test_ablation_linesearch(benchmark, record_result):
+    from repro.experiments import ablation_linesearch
+
+    table = run_once(benchmark, ablation_linesearch, seed=0)
+    record_result("ablation_a4_linesearch", table.render())
+    # The pre-sweep must not hurt: averages within 50% of each other.
+    averages = [row[3] for row in table.rows]
+    assert max(averages) <= 1.5 * min(averages)
+
+
+def test_ablation_optimizer(benchmark, record_result):
+    from repro.experiments import ablation_optimizer
+
+    table = run_once(benchmark, ablation_optimizer, seed=0)
+    record_result("ablation_a5_optimizer", table.render())
+    # Every optimizer beats the basic constant-step variant per setting.
+    by_setting = {}
+    for setting, label, u_eps, _ in table.rows:
+        by_setting.setdefault(setting, {})[label] = u_eps
+    for setting, results in by_setting.items():
+        assert min(results.values()) < results["basic (V1)"] + 1e-9

@@ -1,0 +1,15 @@
+"""Benchmark: B1 — baselines vs steepest descent."""
+
+from bench_utils import run_once
+
+from repro.experiments import baseline_comparison
+
+
+def test_baseline_comparison(benchmark, record_result):
+    table = run_once(benchmark, baseline_comparison, seed=0)
+    record_result("baseline_b1", table.render())
+    by_label = {row[0]: row for row in table.rows}
+    ours = by_label["steepest descent (ours)"]
+    for label, row in by_label.items():
+        if label != "steepest descent (ours)":
+            assert ours[3] <= row[3] + 1e-9

@@ -1,0 +1,40 @@
+"""Benchmarks: Section VII extensions (energy, entropy)."""
+
+from bench_utils import run_once
+
+from repro.experiments import extension_energy, extension_entropy
+
+
+def test_extension_energy(benchmark, record_result):
+    table = run_once(benchmark, extension_energy, seed=0)
+    record_result("extension_e1_energy", table.render())
+
+
+def test_extension_entropy(benchmark, record_result):
+    table = run_once(benchmark, extension_entropy, seed=0)
+    record_result("extension_e2_entropy", table.render())
+    entropies = [row[1] for row in table.rows]
+    # Larger entropy weights never decrease the achieved entropy much.
+    assert entropies[-1] >= entropies[0] - 1e-6
+
+
+def test_extension_team(benchmark, record_result):
+    from repro.experiments import extension_team
+
+    table = run_once(benchmark, extension_team, seed=0)
+    record_result("extension_e3_team", table.render())
+    coverages = [row[1] for row in table.rows]
+    # Coverage grows with team size; prediction tracks measurement.
+    assert all(a < b for a, b in zip(coverages, coverages[1:]))
+    for row in table.rows:
+        assert row[2] == __import__("pytest").approx(row[1], rel=0.15)
+
+
+def test_extension_capture(benchmark, record_result):
+    from repro.experiments import extension_capture
+
+    table = run_once(benchmark, extension_capture, seed=0)
+    record_result("extension_e4_capture", table.render())
+    captures = [row[1] for row in table.rows]
+    # Capture degrades from the high-beta end to the low-beta end.
+    assert captures[-1] < captures[0]

@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 2(a,b) — CDFs of achieved cost, adaptive vs perturbed."""
+
+from bench_utils import run_once
+
+from repro.experiments import figure2a, figure2b
+
+
+def test_figure2a(benchmark, record_result):
+    figure = run_once(benchmark, figure2a, seed=0)
+    record_result("figure2a", figure.render())
+    assert figure.raw["adaptive_trapped_fraction"] >= 0.0
+
+
+def test_figure2b(benchmark, record_result):
+    figure = run_once(benchmark, figure2b, seed=0)
+    record_result("figure2b", figure.render())
+    # Paper: the perturbed CDF rises sharply at the global optimum while
+    # most adaptive runs are trapped above it.
+    perturbed = sorted(figure.raw["perturbed"])
+    adaptive = sorted(figure.raw["adaptive"])
+    assert perturbed[len(perturbed) // 2] <= adaptive[len(adaptive) // 2]

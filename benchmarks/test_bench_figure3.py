@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 3 — basic-algorithm traces for several weightings."""
+
+from bench_utils import run_once
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, record_result):
+    figure = run_once(benchmark, figure3)
+    record_result("figure3", figure.render())
+    # Shape: every trace ends below where it started.
+    for series in figure.series:
+        assert series.y[-1] < series.y[0]

@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 4 — basic algorithm, exposure-only cost."""
+
+from bench_utils import run_once
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, record_result):
+    figure = run_once(benchmark, figure4)
+    record_result("figure4", figure.render())
+    trace = figure.series[0].y
+    assert trace[-1] < trace[0]
+    # Diminishing returns: the second half improves less than the first.
+    half = trace.size // 2
+    assert (trace[0] - trace[half]) >= (trace[half] - trace[-1])

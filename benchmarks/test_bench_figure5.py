@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 5(a,b) — basic trace; perturbed from random starts."""
+
+from bench_utils import run_once
+
+from repro.experiments import figure5a, figure5b
+
+
+def test_figure5a(benchmark, record_result):
+    figure = run_once(benchmark, figure5a)
+    record_result("figure5a", figure.render())
+    trace = figure.series[0].y
+    assert trace[-1] < trace[0]
+
+
+def test_figure5b(benchmark, record_result):
+    figure = run_once(benchmark, figure5b, seed=0)
+    record_result("figure5b", figure.render())
+    finals = figure.raw["finals"]
+    # Paper: different random starts converge to the same stable cost.
+    assert (max(finals) - min(finals)) / max(min(finals), 1e-12) < 0.25

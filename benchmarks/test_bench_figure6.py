@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 6 — simulated vs computed dC and E (Topology 2)."""
+
+import numpy as np
+
+from bench_utils import run_once
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, record_result):
+    figure = run_once(benchmark, figure6, seed=0)
+    record_result("figure6", figure.render())
+    by_label = {s.label: s for s in figure.series}
+    # Paper: with beta=0 the simulated metrics match the computed ones.
+    np.testing.assert_allclose(
+        by_label["dC simulated"].y, by_label["dC computed"].y, rtol=0.2
+    )
+    np.testing.assert_allclose(
+        by_label["E simulated"].y, by_label["E computed"].y, rtol=0.2
+    )

@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 7 — simulated vs computed dC and E (Topology 4)."""
+
+import numpy as np
+
+from bench_utils import run_once
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, record_result):
+    figure = run_once(benchmark, figure7, seed=0)
+    record_result("figure7", figure.render())
+    by_label = {s.label: s for s in figure.series}
+    np.testing.assert_allclose(
+        by_label["dC simulated"].y, by_label["dC computed"].y, rtol=0.2
+    )

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 8 — dC, E, and U with a small beta (Topology 1)."""
+
+import numpy as np
+
+from bench_utils import run_once
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, record_result):
+    figure = run_once(benchmark, figure8, seed=0)
+    record_result("figure8", figure.render())
+    by_label = {s.label: s for s in figure.series}
+    # Paper: the simulated U closely tracks (but does not exactly match)
+    # the computed U when beta > 0.
+    np.testing.assert_allclose(
+        by_label["U simulated"].y, by_label["U computed"].y, rtol=0.25
+    )

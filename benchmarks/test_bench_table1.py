@@ -1,0 +1,30 @@
+"""Benchmark: Table I — coverage shares across the alpha:beta sweep.
+
+The sweep is shared with Table II; this module owns the computation and
+test_bench_table2 reuses its cached result via the module-level cache in
+repro.experiments.tables (recomputed when run standalone).
+"""
+
+import numpy as np
+
+from bench_utils import run_once
+
+from repro import paper_topology
+from repro.experiments import run_weight_sweep, table1
+
+_CACHE = {}
+
+
+def shared_sweep(seed=0):
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = run_weight_sweep(seed=seed)
+    return _CACHE["sweep"]
+
+
+def test_table1(benchmark, record_result):
+    table = run_once(benchmark, lambda: table1(sweep=shared_sweep()))
+    record_result("table1", table.render())
+    # Shape: the beta=0 row approaches the target allocation.
+    phi = paper_topology(3).target_shares
+    final_row = np.array(table.rows[-2][1:], dtype=float)
+    assert np.abs(final_row - phi).max() < 0.05

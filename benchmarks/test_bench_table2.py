@@ -1,0 +1,15 @@
+"""Benchmark: Table II — per-PoI exposure times across the sweep."""
+
+from bench_utils import run_once
+
+from repro.experiments import table2
+from test_bench_table1 import shared_sweep
+
+
+def test_table2(benchmark, record_result):
+    table = run_once(benchmark, lambda: table2(sweep=shared_sweep()))
+    record_result("table2", table.render())
+    # Shape: exposure grows monotonically in sweep order (beta decreasing
+    # from the 1:1 row onward).
+    maxima = [max(row[1:]) for row in table.rows[1:]]
+    assert all(a <= b * 1.05 for a, b in zip(maxima, maxima[1:]))

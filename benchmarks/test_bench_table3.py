@@ -1,0 +1,17 @@
+"""Benchmark: Table III — adaptive vs perturbed over many runs."""
+
+from bench_utils import run_once
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, record_result):
+    table = run_once(benchmark, table3, seed=0)
+    record_result("table3", table.render())
+    adaptive, perturbed = table.rows
+    spread_adaptive = adaptive[2] - adaptive[1]
+    spread_perturbed = perturbed[2] - perturbed[1]
+    # Paper: the adaptive spread greatly exceeds the perturbed spread,
+    # and the perturbed average is better.
+    assert spread_adaptive > spread_perturbed
+    assert perturbed[3] <= adaptive[3]

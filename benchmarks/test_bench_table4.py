@@ -1,0 +1,15 @@
+"""Benchmark: Table IV — realized metrics from actual simulations."""
+
+from bench_utils import run_once
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, record_result):
+    table = run_once(benchmark, table4, seed=0)
+    record_result("table4", table.render())
+    rows = {row[0]: row for row in table.rows}
+    # Paper: beta=0 gives the smallest dC and a much larger E-bar than
+    # any beta > 0 setting.
+    assert rows["1:0"][1] <= min(r[1] for r in table.rows)
+    assert rows["1:0"][3] >= max(r[3] for r in table.rows)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Energy-budgeted data mule: the energy objective of Section VII.
+
+A battery-powered data mule services sensor clusters.  Movement costs
+energy proportional to distance traveled, so the operator prescribes a
+mean travel budget ``gamma`` (meters per scheduling decision) and asks
+for the best coverage/exposure tradeoff *at that budget* — the
+``(D - gamma)^2`` term of Section VII.
+
+The example sweeps the budget and reports the achieved mean travel
+distance, showing that the optimizer respects the budget while spending
+it where it buys the most exposure reduction.  It finishes with a
+simulation of the chosen schedule to measure realized travel.
+
+Run:  python examples/energy_budgeted_mule.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CostWeights,
+    CoverageCost,
+    PerturbedOptions,
+    SimulationOptions,
+    optimize_perturbed,
+    random_topology,
+    simulate_schedule,
+)
+from repro.core.state import ChainState
+from repro.core.terms import EnergyTerm
+
+
+def realized_travel_per_step(topology, sim) -> float:
+    """Mean meters traveled per transition in a simulation."""
+    path = sim.path
+    distances = topology.distances
+    total = sum(
+        distances[path[n], path[n + 1]] for n in range(len(path) - 1)
+    )
+    return total / (len(path) - 1)
+
+
+def main() -> None:
+    np.set_printoptions(precision=3, suppress=True)
+    topology = random_topology(
+        6, area_side=800.0, sensing_radius=40.0, seed=11,
+        name="mule-clusters",
+    )
+    print(f"Random cluster topology: {topology.size} PoIs in "
+          f"an 800 m square")
+    print(f"Target shares: {topology.target_shares}\n")
+
+    probe = EnergyTerm(topology.distances, weight=1.0)
+    header = (f"{'gamma (m)':>10}  {'achieved D':>10}  {'dC':>10}  "
+              f"{'E-bar':>8}")
+    print(header)
+    print("-" * len(header))
+
+    chosen = None
+    for gamma in (50.0, 150.0, 300.0):
+        cost = CoverageCost(
+            topology,
+            CostWeights(
+                alpha=1.0, beta=1e-3,
+                energy_weight=0.005, energy_target=gamma,
+            ),
+        )
+        result = optimize_perturbed(
+            cost, seed=3,
+            options=PerturbedOptions(max_iterations=300,
+                                     trisection_rounds=18),
+        )
+        state = ChainState.from_matrix(result.best_matrix)
+        achieved = probe.mean_travel(state)
+        metrics = CoverageCost(topology, CostWeights())
+        print(f"{gamma:>10.0f}  {achieved:>10.1f}  "
+              f"{metrics.delta_c(state):>10.4g}  "
+              f"{metrics.e_bar(state):>8.3f}")
+        if gamma == 150.0:
+            chosen = result.best_matrix
+
+    # Validate the mid-budget schedule in simulation.
+    sim = simulate_schedule(
+        topology, chosen, transitions=50_000, seed=5,
+        options=SimulationOptions(warmup=1_000, record_path=True),
+    )
+    realized = realized_travel_per_step(topology, sim)
+    print(f"\nSimulated mean travel at gamma=150: {realized:.1f} m/step "
+          f"over {sim.transitions} transitions "
+          f"({sim.total_time / 3600:.1f} h of patrol)")
+    print(
+        "\nReading the table: the achieved mean travel D tracks the"
+        "\nprescribed budget gamma, and a bigger movement budget buys"
+        "\nshorter exposure times — the Section VII energy knob."
+    )
+
+
+if __name__ == "__main__":
+    main()

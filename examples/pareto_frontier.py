@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Trace the coverage/exposure Pareto frontier for an operator.
+
+The paper's Tables I/II sample a handful of ``alpha:beta`` ratios.  An
+operator deciding how to run a real deployment wants the whole frontier:
+every achievable (coverage deviation, exposure time) pair, so they can
+pick the knee — or justify the cost of moving past it.
+
+This example sweeps beta over six decades on paper Topology 1, marks the
+Pareto-efficient points, and summarizes each schedule's character via the
+mean travel distance and the chain's relaxation time (slow-mixing
+schedules need proportionally long deployments before their long-run
+guarantees bind — the operational caveat behind the paper's Table IV
+beta=0 row).
+
+Run:  python examples/pareto_frontier.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import paper_topology
+from repro.analysis.mixing import relaxation_time
+from repro.analysis.pareto import pareto_filter, tradeoff_curve
+
+
+def main() -> None:
+    topology = paper_topology(1)
+    print(f"Topology: {topology.name}, target Phi = "
+          f"{topology.target_shares}\n")
+
+    betas = np.geomspace(1.0, 1e-6, 7)
+    points = tradeoff_curve(
+        topology, betas=betas, iterations=300, seed=0
+    )
+    efficient = pareto_filter(points)
+
+    header = (f"{'beta':>10}  {'dC':>11}  {'E-bar':>9}  "
+              f"{'travel m/step':>13}  {'t_relax':>9}  pareto")
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        t_rel = relaxation_time(point.matrix)
+        marker = "*" if point in efficient else ""
+        print(f"{point.beta:>10.3g}  {point.delta_c:>11.5g}  "
+              f"{point.e_bar:>9.4g}  {point.mean_travel:>13.1f}  "
+              f"{t_rel:>9.3g}  {marker:>6}")
+
+    knee = min(
+        efficient,
+        key=lambda p: p.delta_c / max(efficient[0].delta_c, 1e-12)
+        + p.e_bar / max(efficient[-1].e_bar, 1e-12),
+    )
+    print(f"\nSuggested knee: beta = {knee.beta:g} "
+          f"(dC = {knee.delta_c:.4g}, E-bar = {knee.e_bar:.4g})")
+    print(
+        "\nReading the table: moving down the frontier buys coverage"
+        "\naccuracy with exposure time; the relaxation-time column warns"
+        "\nthat the extreme low-beta schedules also mix orders of"
+        "\nmagnitude more slowly."
+    )
+
+
+if __name__ == "__main__":
+    main()

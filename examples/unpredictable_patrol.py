@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Adversary-resistant patrols: the entropy objective of Section VII.
+
+A security robot patrols checkpoints.  A smart adversary observes the
+robot and strikes wherever it can predict an absence.  Two defenses are
+in tension:
+
+* short exposure times (return quickly everywhere), and
+* an *unpredictable* schedule — maximize the Markov chain's entropy rate
+  so the adversary cannot anticipate the next move.
+
+This example compares three schedules on the same checkpoint layout:
+
+1. a distance-biased nearest-neighbor walk — the classic patrol; short
+   hops keep exposure times low but make the next move easy to guess,
+2. the exposure-only stochastic schedule (alpha=0, beta=1),
+3. the entropy-regularized schedule (``U - w H``, Section VII).
+
+For each we report the entropy rate, the exposure time, and a simple
+adversary model: the probability that an observer who knows the current
+PoI guesses the next PoI correctly (the max row probability, averaged
+under the stationary distribution).
+
+Run:  python examples/unpredictable_patrol.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CostWeights,
+    CoverageCost,
+    PerturbedOptions,
+    grid_topology,
+    optimize_perturbed,
+)
+from repro.baselines.heuristics import nearest_neighbor_matrix
+from repro.core.state import ChainState
+from repro.markov.entropy import entropy_rate, max_entropy_rate
+
+
+def adversary_guess_rate(matrix: np.ndarray) -> float:
+    """P(adversary guesses the next PoI | knows the current one)."""
+    state = ChainState.from_matrix(matrix)
+    return float(state.pi @ matrix.max(axis=1))
+
+
+def main() -> None:
+    np.set_printoptions(precision=3, suppress=True)
+    topology = grid_topology(
+        2, 3, target_shares=[1 / 6] * 6, name="checkpoints"
+    )
+    metrics = CoverageCost(topology, CostWeights())
+    print(f"Checkpoint grid: {topology.size} PoIs, "
+          f"max entropy = ln M = {max_entropy_rate(topology.size):.3f} "
+          f"nats\n")
+
+    candidates = {}
+
+    # 1. Naive deployment: strongly distance-biased walk.
+    candidates["nearest-neighbor tour"] = nearest_neighbor_matrix(
+        topology, temperature=0.05
+    )
+
+    # 2. Exposure-optimal schedule, no entropy consideration.
+    exposure_cost = CoverageCost(
+        topology, CostWeights(alpha=0.0, beta=1.0)
+    )
+    candidates["exposure-optimal"] = optimize_perturbed(
+        exposure_cost, seed=0,
+        options=PerturbedOptions(max_iterations=300,
+                                 trisection_rounds=18),
+    ).best_matrix
+
+    # 3. Entropy-regularized: U - w H with a moderate weight.
+    entropy_cost = CoverageCost(
+        topology,
+        CostWeights(alpha=0.0, beta=1.0, entropy_weight=30.0),
+    )
+    candidates["entropy-regularized"] = optimize_perturbed(
+        entropy_cost, seed=0,
+        options=PerturbedOptions(max_iterations=300,
+                                 trisection_rounds=18),
+    ).best_matrix
+
+    header = (f"{'schedule':>22}  {'H (nats)':>9}  {'E-bar':>8}  "
+              f"{'guess rate':>10}")
+    print(header)
+    print("-" * len(header))
+    for label, matrix in candidates.items():
+        print(f"{label:>22}  {entropy_rate(matrix):>9.3f}  "
+              f"{metrics.e_bar(matrix):>8.3f}  "
+              f"{adversary_guess_rate(matrix):>10.1%}")
+
+    print(
+        "\nReading the table: the distance-biased tour and the plain"
+        "\nexposure-only schedule both leave the adversary guessing"
+        "\nright about 2 times in 5; the entropy-regularized schedule"
+        "\npushes H toward the ln M bound and nearly halves the guess"
+        "\nrate — and here the extra randomness even helped the search"
+        "\nescape a local optimum, improving E-bar as well."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Water-distribution-system patrol: the paper's motivating scenario.
+
+Section I motivates the problem with a mobile node collecting data from
+underwater chemical sensors in a water distribution system (WDS): some
+monitoring points matter more than others (periphery = fast contaminant
+detection, center = high detection probability), and the operator must
+balance how *much* attention each point gets (coverage time) against how
+*long* any point goes unwatched (exposure time).
+
+This example models a small WDS as a 3x3 service grid with one central
+reservoir and heavier weights on the two inflow points, then sweeps the
+exposure weight ``beta`` to show the tradeoff curve an operator would
+choose from — more patrol movement (low exposure, fuel spent) versus
+precise attention allocation (accurate coverage, slow rounds).
+
+Run:  python examples/water_distribution_patrol.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CostWeights,
+    CoverageCost,
+    PerturbedOptions,
+    Topology,
+    optimize_multistart,
+)
+from repro.core.terms import EnergyTerm
+from repro.core.state import ChainState
+
+#: Monitoring points of the WDS, meters.  Two inflow points (west), a
+#: central reservoir, and service nodes.
+STATIONS = [
+    (0.0, 0.0),        # inflow A (periphery)
+    (0.0, 400.0),      # inflow B (periphery)
+    (300.0, 200.0),    # central reservoir
+    (600.0, 0.0),      # service node SE
+    (600.0, 400.0),    # service node NE
+    (900.0, 200.0),    # outflow monitoring point
+]
+
+#: Attention allocation: inflows dominate (early contaminant warning),
+#: the reservoir matters, service nodes get the remainder.
+TARGET = [0.25, 0.25, 0.20, 0.10, 0.10, 0.10]
+
+
+def build_topology() -> Topology:
+    return Topology(
+        positions=STATIONS,
+        target_shares=TARGET,
+        sensing_radius=60.0,     # acoustic modem range near a station
+        speed=2.0,               # AUV cruise speed, m/s
+        pause_times=120.0,       # data-mule dwell time per station, s
+        name="wds-patrol",
+    )
+
+
+def main() -> None:
+    np.set_printoptions(precision=3, suppress=True)
+    topology = build_topology()
+    print(f"WDS patrol topology: {topology.size} stations")
+    print(f"Target attention shares: {np.asarray(TARGET)}\n")
+
+    energy_probe = EnergyTerm(topology.distances, weight=1.0)
+    header = (f"{'beta':>8}  {'dC':>10}  {'E-bar':>10}  "
+              f"{'travel m/step':>13}  coverage shares")
+    print(header)
+    print("-" * len(header))
+
+    sweep = [1.0, 1e-2, 1e-4, 1e-6]
+    previous = None
+    for beta in sweep:
+        cost = CoverageCost(
+            topology, CostWeights(alpha=1.0, beta=beta)
+        )
+        result = optimize_multistart(
+            cost,
+            random_starts=1,
+            seed=7,
+            options=PerturbedOptions(max_iterations=250,
+                                     trisection_rounds=18),
+        )
+        best = result.best.best_matrix
+        if previous is not None:
+            # Warm-start helps track the optimum down the sweep; keep
+            # whichever is better.
+            from repro import optimize_perturbed
+
+            warm = optimize_perturbed(
+                cost, initial=previous, seed=8,
+                options=PerturbedOptions(max_iterations=250,
+                                         trisection_rounds=18),
+            )
+            if warm.best_u_eps < result.best.best_u_eps:
+                best = warm.best_matrix
+        previous = best
+
+        metrics = CoverageCost(topology, CostWeights())
+        state = ChainState.from_matrix(best)
+        travel = energy_probe.mean_travel(state)
+        print(f"{beta:>8g}  {metrics.delta_c(state):>10.4g}  "
+              f"{metrics.e_bar(state):>10.4g}  {travel:>13.1f}  "
+              f"{metrics.coverage_shares(state)}")
+
+    print(
+        "\nReading the table: lowering beta tightens the attention"
+        "\nallocation toward the target (dC falls) while rounds get"
+        "\nslower (E-bar rises) and the AUV travels less per decision"
+        "\n(energy saved) — the paper's Section VI-B tradeoff."
+    )
+
+
+if __name__ == "__main__":
+    main()

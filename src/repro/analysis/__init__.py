@@ -1,0 +1,46 @@
+"""Analysis utilities on top of the optimizer and the Markov substrate.
+
+* :mod:`repro.analysis.pareto` — sweep the weight ratio to trace the
+  coverage/exposure tradeoff frontier (the operator-facing view of the
+  paper's Section VI-B results).
+* :mod:`repro.analysis.mixing` — spectral diagnostics of a schedule:
+  relaxation time, mixing-time bounds, Kemeny constant.
+* :mod:`repro.analysis.convergence` — plateau detection and convergence
+  summaries for optimization traces.
+"""
+
+from repro.analysis.pareto import (
+    TradeoffPoint,
+    pareto_filter,
+    tradeoff_curve,
+)
+from repro.analysis.mixing import (
+    kemeny_constant,
+    mixing_time_bound,
+    relaxation_time,
+)
+from repro.analysis.convergence import (
+    ConvergenceSummary,
+    iterations_to_tolerance,
+    summarize_trace,
+)
+from repro.analysis.sensitivity import (
+    WeightSensitivity,
+    verify_envelope,
+    weight_sensitivity,
+)
+
+__all__ = [
+    "TradeoffPoint",
+    "tradeoff_curve",
+    "pareto_filter",
+    "relaxation_time",
+    "mixing_time_bound",
+    "kemeny_constant",
+    "ConvergenceSummary",
+    "summarize_trace",
+    "iterations_to_tolerance",
+    "WeightSensitivity",
+    "weight_sensitivity",
+    "verify_envelope",
+]

@@ -1,0 +1,95 @@
+"""Convergence summaries of optimization traces.
+
+Turns the per-iteration cost traces (Figs. 3-5) into the numbers one
+actually compares: where the run plateaued, how fast it got within a
+tolerance of its final value, and how much of the total improvement the
+first iterations delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Summary statistics of one cost trace."""
+
+    initial: float
+    final: float
+    best: float
+    total_improvement: float
+    iterations: int
+    iterations_to_half: Optional[int]
+    iterations_to_tenth: Optional[int]
+    plateau_iteration: Optional[int]
+
+
+def iterations_to_tolerance(
+    trace: np.ndarray, fraction: float
+) -> Optional[int]:
+    """First iteration whose *remaining* improvement is below ``fraction``.
+
+    Remaining improvement at iteration ``t`` is
+    ``(trace[t] - best) / (trace[0] - best)``.  Returns ``None`` when the
+    trace never improves.
+    """
+    trace = np.asarray(trace, dtype=float)
+    if trace.size == 0:
+        return None
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must lie in (0, 1), got {fraction}")
+    best = trace.min()
+    total = trace[0] - best
+    if total <= 0.0:
+        return None
+    remaining = (trace - best) / total
+    below = np.nonzero(remaining <= fraction)[0]
+    return int(below[0]) if below.size else None
+
+
+def detect_plateau(
+    trace: np.ndarray, window: int = 20, rtol: float = 1e-6
+) -> Optional[int]:
+    """First iteration after which the trace improves by less than
+    ``rtol`` (relative to its current scale) over any ``window``.
+
+    Returns ``None`` when no plateau is reached within the trace.
+    """
+    trace = np.asarray(trace, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if trace.size <= window:
+        return None
+    for start in range(trace.size - window):
+        improvement = trace[start] - trace[start + window]
+        scale = max(1.0, abs(trace[start]))
+        if improvement <= rtol * scale:
+            return start
+    return None
+
+
+def summarize_trace(
+    trace: np.ndarray, plateau_window: int = 20,
+    plateau_rtol: float = 1e-6,
+) -> ConvergenceSummary:
+    """Build a :class:`ConvergenceSummary` for a cost trace."""
+    trace = np.asarray(trace, dtype=float)
+    if trace.size == 0:
+        raise ValueError("trace must be non-empty")
+    best = float(trace.min())
+    return ConvergenceSummary(
+        initial=float(trace[0]),
+        final=float(trace[-1]),
+        best=best,
+        total_improvement=float(trace[0] - best),
+        iterations=int(trace.size),
+        iterations_to_half=iterations_to_tolerance(trace, 0.5),
+        iterations_to_tenth=iterations_to_tolerance(trace, 0.1),
+        plateau_iteration=detect_plateau(
+            trace, window=plateau_window, rtol=plateau_rtol
+        ),
+    )

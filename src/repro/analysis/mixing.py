@@ -1,0 +1,72 @@
+"""Spectral diagnostics of a coverage schedule.
+
+Useful sanity checks on optimized schedules: a chain that mixes slowly
+needs proportionally longer simulations (and real deployments!) before
+its long-run guarantees bind.  The Table IV ``beta = 0`` row is the
+canonical example: its near-frozen schedule has a huge relaxation time,
+which is why short simulations miss its analytic metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.fundamental import fundamental_and_stationary
+from repro.utils.validation import check_square
+
+
+def _sorted_eigen_moduli(matrix: np.ndarray) -> np.ndarray:
+    eigenvalues = np.linalg.eigvals(matrix)
+    return np.sort(np.abs(eigenvalues))[::-1]
+
+
+def relaxation_time(matrix: np.ndarray) -> float:
+    """``1 / (1 - |lambda_2|)`` — the chain's slowest decay timescale.
+
+    Returns ``inf`` when the second-largest eigenvalue modulus is 1
+    (periodic or reducible chains).
+    """
+    matrix = check_square("matrix", matrix)
+    moduli = _sorted_eigen_moduli(matrix)
+    if moduli.size < 2:
+        return 1.0
+    gap = 1.0 - moduli[1]
+    if gap <= 1e-15:
+        return float("inf")
+    return float(1.0 / gap)
+
+
+def mixing_time_bound(
+    matrix: np.ndarray, accuracy: float = 0.25
+) -> float:
+    """Standard upper bound on the total-variation mixing time.
+
+    ``t_mix(eps) <= log(1 / (eps * pi_min)) * t_rel`` for reversible
+    chains; for non-reversible chains this is a heuristic estimate of the
+    same order, which is how it should be used (a simulation-length
+    guide, not a certificate).
+    """
+    if not 0.0 < accuracy < 1.0:
+        raise ValueError(f"accuracy must lie in (0, 1), got {accuracy}")
+    matrix = check_square("matrix", matrix)
+    _, pi = fundamental_and_stationary(matrix)
+    t_rel = relaxation_time(matrix)
+    if not np.isfinite(t_rel):
+        return float("inf")
+    return float(np.log(1.0 / (accuracy * pi.min())) * t_rel)
+
+
+def kemeny_constant(matrix: np.ndarray) -> float:
+    """Kemeny's constant ``K = sum_j pi_j R_ij`` (independent of ``i``).
+
+    The expected time to reach a stationary-distributed target from
+    anywhere — a single-number summary of how quickly the schedule
+    reaches "a typical place".  Computed as ``trace(Z) `` via the
+    fundamental matrix (Kemeny-Snell), using the convention that counts
+    the step to a random target, i.e. ``K = trace(Z) - 1 + 1 = trace(Z)``
+    with the self-visit excluded giving ``trace(Z) - 1``; we return the
+    hitting-time form ``trace(Z) - 1``.
+    """
+    matrix = check_square("matrix", matrix)
+    z, _ = fundamental_and_stationary(matrix)
+    return float(np.trace(z) - 1.0)

@@ -1,0 +1,124 @@
+"""Coverage/exposure tradeoff frontier.
+
+The paper presents the tradeoff as tables over a handful of ``alpha:beta``
+ratios (Tables I/II/IV).  For an operator the more useful artifact is the
+whole frontier: every achievable ``(Delta C, E-bar)`` pair as the weight
+ratio sweeps from exposure-dominant to coverage-dominant.  This module
+traces that curve with the same warm-started multi-start strategy the
+table harness uses, and filters it to its Pareto-efficient subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost import CostWeights, CoverageCost
+from repro.core.multistart import optimize_multistart
+from repro.core.perturbed import PerturbedOptions, optimize_perturbed
+from repro.core.state import ChainState
+from repro.topology.model import Topology
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One optimized point of the coverage/exposure frontier."""
+
+    beta: float
+    delta_c: float
+    e_bar: float
+    mean_travel: float
+    matrix: np.ndarray
+
+    def dominates(self, other: "TradeoffPoint", tol: float = 0.0) -> bool:
+        """Whether this point is at least as good in both metrics and
+        strictly better in one."""
+        no_worse = (
+            self.delta_c <= other.delta_c + tol
+            and self.e_bar <= other.e_bar + tol
+        )
+        better = (
+            self.delta_c < other.delta_c - tol
+            or self.e_bar < other.e_bar - tol
+        )
+        return no_worse and better
+
+
+def tradeoff_curve(
+    topology: Topology,
+    betas: Optional[Sequence[float]] = None,
+    alpha: float = 1.0,
+    iterations: int = 300,
+    random_starts: int = 1,
+    seed: int = 0,
+) -> List[TradeoffPoint]:
+    """Trace the tradeoff frontier by sweeping ``beta`` downward.
+
+    Each point is optimized with the multi-start portfolio plus a warm
+    start from the previous point (continuation), exactly like the
+    Table I/II harness.  ``betas`` defaults to a geometric ladder from 1
+    to 1e-7.
+    """
+    if betas is None:
+        betas = np.geomspace(1.0, 1e-7, 8)
+    betas = [float(b) for b in betas]
+    if any(b < 0 for b in betas):
+        raise ValueError("betas must be non-negative")
+
+    points: List[TradeoffPoint] = []
+    metrics = CoverageCost(topology, CostWeights())
+    distances = topology.distances
+    previous: Optional[np.ndarray] = None
+    for index, beta in enumerate(betas):
+        cost = CoverageCost(
+            topology, CostWeights(alpha=alpha, beta=beta)
+        )
+        options = PerturbedOptions(
+            max_iterations=iterations,
+            trisection_rounds=18,
+            stall_limit=iterations + 1,
+            record_history=False,
+        )
+        result = optimize_multistart(
+            cost, random_starts=random_starts,
+            seed=seed + 101 * index, options=options,
+        ).best
+        if previous is not None:
+            warm = optimize_perturbed(
+                cost, initial=previous, seed=seed + 101 * index + 7,
+                options=options,
+            )
+            if warm.best_u_eps < result.best_u_eps:
+                result = warm
+        matrix = result.best_matrix
+        state = ChainState.from_matrix(matrix)
+        travel = float(
+            state.pi @ (state.p * distances).sum(axis=1)
+        )
+        points.append(
+            TradeoffPoint(
+                beta=beta,
+                delta_c=metrics.delta_c(state),
+                e_bar=metrics.e_bar(state),
+                mean_travel=travel,
+                matrix=matrix,
+            )
+        )
+        previous = matrix
+    return points
+
+
+def pareto_filter(
+    points: Sequence[TradeoffPoint], tol: float = 1e-12
+) -> List[TradeoffPoint]:
+    """Return the Pareto-efficient subset, sorted by ``delta_c``.
+
+    A point survives iff no other point dominates it (within ``tol``).
+    """
+    survivors = [
+        p for p in points
+        if not any(q.dominates(p, tol) for q in points if q is not p)
+    ]
+    return sorted(survivors, key=lambda p: p.delta_c)

@@ -1,0 +1,106 @@
+"""Weight sensitivities of the optimal cost (envelope theorem).
+
+At a (local) optimum ``P*`` of ``U_eps(P; alpha, beta)``, the envelope
+theorem gives the derivative of the optimal value with respect to the
+weights directly from the partial derivatives at the optimum — the
+inner re-optimization contributes nothing to first order:
+
+    dU*/dalpha = ∂U/∂alpha |_{P*} = ΔC(P*) / 2
+    dU*/dbeta  = ∂U/∂beta  |_{P*} = Ē(P*)² / 2
+
+These are the *shadow prices* of the weights: how much total cost a unit
+of extra emphasis on coverage (or exposure) buys at the current
+operating point.  Operators reading the Pareto frontier
+(`repro.analysis.pareto`) use the ratio of the two to know where on the
+frontier a weight tweak will move them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost import CostWeights, CoverageCost
+
+
+@dataclass(frozen=True)
+class WeightSensitivity:
+    """Envelope-theorem sensitivities at one matrix.
+
+    ``d_alpha``/``d_beta`` are the first-order changes of the cost per
+    unit weight change; ``exchange_rate`` is ``d_alpha / d_beta`` — how
+    many units of beta-emphasis one unit of alpha-emphasis is worth at
+    this operating point (``inf`` when the exposure term is zero).
+    """
+
+    d_alpha: float
+    d_beta: float
+
+    @property
+    def exchange_rate(self) -> float:
+        """``d_alpha / d_beta``; ``inf`` when ``d_beta`` vanishes."""
+        if self.d_beta <= 0.0:
+            return float("inf")
+        return self.d_alpha / self.d_beta
+
+
+def weight_sensitivity(
+    cost: CoverageCost, matrix: np.ndarray
+) -> WeightSensitivity:
+    """Shadow prices of ``alpha`` and ``beta`` at ``matrix``.
+
+    Meaningful as *optimal-value* derivatives only when ``matrix`` is
+    (approximately) optimal for ``cost``'s weights; at any other matrix
+    they are plain partial derivatives of ``U`` in the weights.
+    Scalar-weight costs only (the paper's Section VI setting).
+    """
+    for name in ("alpha", "beta"):
+        value = getattr(cost.weights, name)
+        if np.ndim(value) != 0:
+            raise ValueError(
+                f"weight_sensitivity requires scalar {name}; per-PoI "
+                "weights have one shadow price per PoI"
+            )
+    breakdown = cost.evaluate(matrix)
+    return WeightSensitivity(
+        d_alpha=0.5 * breakdown.delta_c,
+        d_beta=0.5 * breakdown.e_bar**2,
+    )
+
+
+def verify_envelope(
+    topology,
+    alpha: float,
+    beta: float,
+    matrix: np.ndarray,
+    delta: float = 1e-4,
+) -> dict:
+    """Finite-difference check of the envelope derivatives at ``matrix``.
+
+    Evaluates ``U`` at ``(alpha ± delta, beta)`` and ``(alpha, beta ±
+    delta)`` **holding the matrix fixed** and compares the central
+    differences with the analytic sensitivities.  Returns a dict with
+    both for reporting; used by tests.
+    """
+    def value(a, b):
+        return CoverageCost(
+            topology, CostWeights(alpha=a, beta=b)
+        ).value(matrix)
+
+    analytic = weight_sensitivity(
+        CoverageCost(topology, CostWeights(alpha=alpha, beta=beta)),
+        matrix,
+    )
+    numeric_alpha = (
+        value(alpha + delta, beta) - value(alpha - delta, beta)
+    ) / (2 * delta)
+    numeric_beta = (
+        value(alpha, beta + delta) - value(alpha, beta - delta)
+    ) / (2 * delta)
+    return {
+        "analytic_alpha": analytic.d_alpha,
+        "numeric_alpha": numeric_alpha,
+        "analytic_beta": analytic.d_beta,
+        "numeric_beta": numeric_beta,
+    }

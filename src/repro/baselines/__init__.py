@@ -1,0 +1,32 @@
+"""Baseline schedulers to compare against the steepest-descent optimizer.
+
+* :mod:`repro.baselines.mcmc` — Metropolis-Hastings chains that target a
+  prescribed stationary distribution (the MCMC approach Section II notes
+  can handle *only* the coverage-time objective).
+* :mod:`repro.baselines.heuristics` — stateless policies practitioners
+  would reach for first: uniform random walk, target-proportional jumps,
+  and distance-biased (nearest-neighbor-ish) walks.
+* :mod:`repro.baselines.maxent` — the maximum-entropy chain with a given
+  stationary distribution (Burda et al. construction), the natural
+  entropy-optimal point of comparison for Section VII.
+"""
+
+from repro.baselines.mcmc import (
+    metropolis_hastings_matrix,
+    stationary_for_target_coverage,
+)
+from repro.baselines.heuristics import (
+    nearest_neighbor_matrix,
+    proportional_matrix,
+    uniform_policy_matrix,
+)
+from repro.baselines.maxent import max_entropy_matrix
+
+__all__ = [
+    "metropolis_hastings_matrix",
+    "stationary_for_target_coverage",
+    "uniform_policy_matrix",
+    "proportional_matrix",
+    "nearest_neighbor_matrix",
+    "max_entropy_matrix",
+]

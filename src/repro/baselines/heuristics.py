@@ -1,0 +1,79 @@
+"""Stateless heuristic policies.
+
+The "first thing a practitioner would try" baselines: they need no
+optimization, only the topology and the target allocation.  None of them
+can trade coverage accuracy off against exposure time — which is exactly
+the gap the paper's optimizer fills.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.model import Topology
+from repro.utils.validation import check_distribution, check_probability
+
+
+def uniform_policy_matrix(size: int, stay_probability: float = 0.0
+                          ) -> np.ndarray:
+    """Uniform random walk over the other PoIs.
+
+    ``stay_probability`` puts mass on the self-loop; the rest is split
+    evenly among the remaining PoIs.  With ``stay_probability = 0`` this
+    is the most exploratory stateless policy (and minimizes the maximum
+    per-PoI exposure on symmetric topologies).
+    """
+    if size < 2:
+        raise ValueError(f"size must be >= 2, got {size}")
+    stay = check_probability("stay_probability", stay_probability)
+    if stay >= 1.0:
+        raise ValueError("stay_probability must be < 1 for ergodicity")
+    matrix = np.full((size, size), (1.0 - stay) / (size - 1))
+    np.fill_diagonal(matrix, stay)
+    return matrix
+
+
+def proportional_matrix(target_shares: np.ndarray) -> np.ndarray:
+    """I.i.d. jumps to the target allocation: ``p_ij = Phi_j``.
+
+    The next PoI is drawn from ``Phi`` regardless of the current location
+    (lottery-scheduling style).  Its stationary distribution is exactly
+    ``Phi`` — but its *achieved coverage* is not, because travel time,
+    pause time, and pass-by coverage all distort the mapping.
+    """
+    phi = check_distribution("target_shares", target_shares)
+    if np.any(phi <= 0):
+        raise ValueError(
+            "all target shares must be positive for an ergodic policy"
+        )
+    return np.tile(phi, (phi.shape[0], 1))
+
+
+def nearest_neighbor_matrix(
+    topology: Topology,
+    temperature: float = 0.25,
+    stay_probability: float = 0.0,
+) -> np.ndarray:
+    """Distance-biased walk: ``p_ij ~ exp(-d_ij / (temperature * scale))``.
+
+    ``scale`` is the mean off-diagonal distance, so ``temperature``
+    controls locality in topology-independent units: small values approach
+    a deterministic nearest-neighbor tour; large values approach the
+    uniform walk.  Minimizes travel energy at the cost of long exposure
+    times for far-apart PoIs.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be > 0, got {temperature}")
+    stay = check_probability("stay_probability", stay_probability)
+    if stay >= 1.0:
+        raise ValueError("stay_probability must be < 1 for ergodicity")
+    distances = topology.distances
+    size = topology.size
+    off_diagonal = distances[~np.eye(size, dtype=bool)]
+    scale = float(off_diagonal.mean())
+    weights = np.exp(-distances / (temperature * scale))
+    np.fill_diagonal(weights, 0.0)
+    weights = weights / weights.sum(axis=1, keepdims=True)
+    matrix = (1.0 - stay) * weights
+    np.fill_diagonal(matrix, stay)
+    return matrix

@@ -1,0 +1,75 @@
+"""Maximum-entropy chains (Section VII's entropy objective, stand-alone).
+
+Two classical constructions:
+
+* With a **prescribed stationary distribution** ``pi`` and unconstrained
+  support, the chain of maximal entropy rate is the i.i.d. chain
+  ``p_ij = pi_j``, whose entropy rate equals the Shannon entropy
+  ``H(pi)`` — the upper bound for any chain with that stationary law.
+* With a **support constraint** (adjacency matrix) the maximal-entropy
+  random walk is the Parry measure / Burda et al. construction from the
+  leading eigenpair of the adjacency matrix; its entropy rate is
+  ``ln lambda_max``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_distribution, check_square
+
+
+def max_entropy_matrix(
+    pi: Optional[np.ndarray] = None,
+    adjacency: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Maximum-entropy-rate transition matrix.
+
+    Exactly one of ``pi`` (prescribed stationary distribution, free
+    support) or ``adjacency`` (support constraint, free stationary
+    distribution) must be given.
+    """
+    if (pi is None) == (adjacency is None):
+        raise ValueError("pass exactly one of pi or adjacency")
+    if pi is not None:
+        pi = check_distribution("pi", pi)
+        if np.any(pi <= 0):
+            raise ValueError("pi must be strictly positive")
+        return np.tile(pi, (pi.shape[0], 1))
+    return _parry_matrix(adjacency)
+
+
+def _parry_matrix(adjacency: np.ndarray) -> np.ndarray:
+    """Parry measure: ``p_ij = A_ij psi_j / (lambda psi_i)``.
+
+    ``(lambda, psi)`` is the Perron eigenpair of the (irreducible,
+    0/1-patterned) adjacency matrix; the resulting chain maximizes the
+    entropy rate among all chains supported on ``A`` and attains
+    ``H = ln(lambda)``.
+    """
+    adjacency = check_square("adjacency", adjacency)
+    if np.any(adjacency < 0):
+        raise ValueError("adjacency must be non-negative")
+    binary = (adjacency > 0).astype(float)
+    eigenvalues, eigenvectors = np.linalg.eig(binary)
+    index = int(np.argmax(eigenvalues.real))
+    lam = float(eigenvalues[index].real)
+    psi = eigenvectors[:, index].real
+    if np.all(psi <= 0):
+        psi = -psi
+    if np.any(psi <= 0) or lam <= 0:
+        raise ValueError(
+            "adjacency matrix is not irreducible: the Perron eigenvector "
+            "has non-positive entries"
+        )
+    matrix = binary * psi[None, :] / (lam * psi[:, None])
+    sums = matrix.sum(axis=1)
+    if not np.allclose(sums, 1.0, atol=1e-8):
+        raise ValueError(
+            "Parry construction failed to produce a stochastic matrix "
+            f"(row sums {sums}); is the adjacency strongly connected?"
+        )
+    # Clean round-off so downstream stochasticity checks pass exactly.
+    return matrix / sums[:, None]

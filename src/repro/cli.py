@@ -1,0 +1,350 @@
+"""Command-line interface.
+
+Five subcommands mirror the library's workflow::
+
+    python -m repro topology  --paper 1 --save topo.json
+    python -m repro optimize  --topology topo.json --alpha 1 --beta 1e-4 \\
+                              --algorithm multistart --save-matrix P.json
+    python -m repro simulate  --topology topo.json --matrix P.json \\
+                              --transitions 100000
+    python -m repro experiment table1
+    python -m repro tradeoff  --paper 1 --points 6
+
+Every command prints a plain-text report; ``--save*`` options write JSON
+artifacts via :mod:`repro.persist`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+import repro.experiments as experiments
+from repro import persist
+from repro.analysis.pareto import pareto_filter, tradeoff_curve
+from repro.core.adaptive import AdaptiveOptions, optimize_adaptive
+from repro.core.cost import CostWeights, CoverageCost
+from repro.core.descent import BasicDescentOptions, optimize_basic
+from repro.core.multistart import optimize_multistart
+from repro.core.perturbed import PerturbedOptions, optimize_perturbed
+from repro.simulation.engine import SimulationOptions, simulate_schedule
+from repro.topology.grid import grid_topology, line_topology
+from repro.topology.library import PAPER_TOPOLOGY_IDS, paper_topology
+from repro.topology.random_gen import random_topology
+
+#: Experiment names accepted by ``repro experiment``.
+EXPERIMENTS = {
+    "table1": experiments.table1,
+    "table2": experiments.table2,
+    "table3": experiments.table3,
+    "table4": experiments.table4,
+    "figure2a": experiments.figure2a,
+    "figure2b": experiments.figure2b,
+    "figure3": experiments.figure3,
+    "figure4": experiments.figure4,
+    "figure5a": experiments.figure5a,
+    "figure5b": experiments.figure5b,
+    "figure6": experiments.figure6,
+    "figure7": experiments.figure7,
+    "figure8": experiments.figure8,
+    "ablation-step-size": experiments.ablation_step_size,
+    "ablation-linesearch": experiments.ablation_linesearch,
+    "ablation-optimizer": experiments.ablation_optimizer,
+    "ablation-noise": experiments.ablation_noise,
+    "ablation-epsilon": experiments.ablation_epsilon,
+    "extension-energy": experiments.extension_energy,
+    "extension-entropy": experiments.extension_entropy,
+    "extension-team": experiments.extension_team,
+    "extension-capture": experiments.extension_capture,
+    "baselines": experiments.baseline_comparison,
+    "validate": experiments.validate_reproduction,
+}
+
+
+def _load_topology(args):
+    if args.topology:
+        return persist.load_topology(args.topology)
+    if args.paper:
+        return paper_topology(args.paper)
+    raise SystemExit("provide --topology FILE or --paper ID")
+
+
+def _add_topology_source(parser) -> None:
+    parser.add_argument(
+        "--topology", help="path to a topology JSON file"
+    )
+    parser.add_argument(
+        "--paper", type=int, choices=PAPER_TOPOLOGY_IDS,
+        help="use a paper evaluation topology instead",
+    )
+
+
+def _cmd_topology(args) -> int:
+    if args.paper:
+        topology = paper_topology(args.paper)
+    elif args.grid:
+        rows, cols = args.grid
+        topology = grid_topology(rows, cols)
+    elif args.line:
+        topology = line_topology(args.line)
+    elif args.random:
+        topology = random_topology(args.random, seed=args.seed)
+    else:
+        raise SystemExit(
+            "provide one of --paper, --grid, --line, --random"
+        )
+    np.set_printoptions(precision=4, suppress=True)
+    print(f"{topology.name}: {topology.size} PoIs")
+    print(f"  target shares: {topology.target_shares}")
+    print(f"  sensing radius: {topology.sensing_radius} m, "
+          f"speed: {topology.speed} m/s")
+    print("  travel times T_jk (s):")
+    print(topology.travel_times)
+    if args.save:
+        persist.save_topology(topology, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    topology = _load_topology(args)
+    weights = CostWeights(
+        alpha=args.alpha,
+        beta=args.beta,
+        epsilon=args.epsilon,
+        energy_weight=args.energy_weight,
+        energy_target=args.energy_target,
+        entropy_weight=args.entropy_weight,
+    )
+    cost = CoverageCost(topology, weights)
+    if args.algorithm == "basic":
+        result = optimize_basic(
+            cost,
+            options=BasicDescentOptions(
+                step_size=args.step_size,
+                max_iterations=args.iterations,
+            ),
+        )
+    elif args.algorithm == "adaptive":
+        result = optimize_adaptive(
+            cost, seed=args.seed,
+            options=AdaptiveOptions(max_iterations=args.iterations),
+        )
+    elif args.algorithm == "perturbed":
+        result = optimize_perturbed(
+            cost, seed=args.seed,
+            options=PerturbedOptions(max_iterations=args.iterations),
+        )
+    elif args.algorithm == "mirror":
+        from repro.core.mirror import MirrorOptions, optimize_mirror
+
+        result = optimize_mirror(
+            cost,
+            options=MirrorOptions(max_iterations=args.iterations),
+        )
+    else:  # multistart
+        result = optimize_multistart(
+            cost, seed=args.seed,
+            options=PerturbedOptions(
+                max_iterations=args.iterations,
+                stall_limit=args.iterations + 1,
+            ),
+        ).best
+
+    np.set_printoptions(precision=4, suppress=True)
+    print(result.summary())
+    print("P =")
+    print(np.asarray(result.best_matrix))
+    print("coverage shares:", cost.coverage_shares(result.best_matrix))
+    print("exposure times: ", cost.exposure_times(result.best_matrix))
+    if args.save_matrix:
+        persist.save_matrix(result.best_matrix, args.save_matrix)
+        print(f"matrix saved to {args.save_matrix}")
+    if args.save_result:
+        persist.save_result(result, args.save_result)
+        print(f"result saved to {args.save_result}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    topology = _load_topology(args)
+    matrix = persist.load_matrix(args.matrix)
+    result = simulate_schedule(
+        topology, matrix,
+        transitions=args.transitions,
+        seed=args.seed,
+        options=SimulationOptions(warmup=args.warmup),
+    )
+    np.set_printoptions(precision=4, suppress=True)
+    print(result.summary())
+    print("coverage shares (schedule conv.):", result.coverage_shares)
+    print("coverage shares (physical):     ",
+          result.physical_coverage_shares)
+    print("exposure (transitions):         ",
+          result.exposure_transitions)
+    print("occupancy:                      ", result.occupancy)
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    function = EXPERIMENTS[args.name]
+    result = function(seed=args.seed) if args.seed is not None \
+        else function()
+    print(result.render())
+    return 0
+
+
+def _cmd_team(args) -> int:
+    import numpy as np
+
+    from repro.multisensor import (
+        simulate_team,
+        team_coverage_approximation,
+        team_exposure_approximation,
+    )
+
+    topology = _load_topology(args)
+    matrix = persist.load_matrix(args.matrix)
+    solo = simulate_team(
+        topology, [matrix], horizon=args.horizon, seed=args.seed
+    )
+    team = simulate_team(
+        topology, [matrix] * args.sensors, horizon=args.horizon,
+        seed=args.seed + 1,
+    )
+    predicted_cov = team_coverage_approximation(
+        np.tile(solo.coverage_shares, (args.sensors, 1))
+    )
+    predicted_gap = team_exposure_approximation(
+        np.tile(solo.exposure_mean, (args.sensors, 1))
+    )
+    np.set_printoptions(precision=4, suppress=True)
+    print(f"team of {args.sensors} over {args.horizon:.0f} s")
+    print("union coverage shares:", team.coverage_shares)
+    print("  predicted:          ", predicted_cov)
+    print("mean exposure gaps (s):", team.exposure_mean)
+    print("  predicted:           ", predicted_gap)
+    print("per-sensor transitions:", team.transitions)
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    topology = _load_topology(args)
+    betas = np.geomspace(args.beta_max, args.beta_min, args.points)
+    points = tradeoff_curve(
+        topology, betas=betas, iterations=args.iterations,
+        seed=args.seed,
+    )
+    efficient = pareto_filter(points)
+    header = (f"{'beta':>10}  {'dC':>12}  {'E-bar':>10}  "
+              f"{'travel m/step':>13}  pareto")
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        marker = "*" if point in efficient else ""
+        print(f"{point.beta:>10.3g}  {point.delta_c:>12.5g}  "
+              f"{point.e_bar:>10.4g}  {point.mean_travel:>13.1f}  "
+              f"{marker:>6}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Stochastic steepest-descent optimization of mobile sensor "
+            "coverage (ICDCS 2010 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topo = sub.add_parser(
+        "topology", help="build, inspect, and save topologies"
+    )
+    p_topo.add_argument("--paper", type=int, choices=PAPER_TOPOLOGY_IDS)
+    p_topo.add_argument(
+        "--grid", type=int, nargs=2, metavar=("ROWS", "COLS")
+    )
+    p_topo.add_argument("--line", type=int, metavar="COUNT")
+    p_topo.add_argument("--random", type=int, metavar="COUNT")
+    p_topo.add_argument("--seed", type=int, default=0)
+    p_topo.add_argument("--save", help="write topology JSON here")
+    p_topo.set_defaults(handler=_cmd_topology)
+
+    p_opt = sub.add_parser("optimize", help="optimize a schedule")
+    _add_topology_source(p_opt)
+    p_opt.add_argument("--alpha", type=float, default=1.0)
+    p_opt.add_argument("--beta", type=float, default=1.0)
+    p_opt.add_argument("--epsilon", type=float, default=1e-4)
+    p_opt.add_argument("--energy-weight", type=float, default=0.0)
+    p_opt.add_argument("--energy-target", type=float, default=0.0)
+    p_opt.add_argument("--entropy-weight", type=float, default=0.0)
+    p_opt.add_argument(
+        "--algorithm", default="perturbed",
+        choices=("basic", "adaptive", "perturbed", "multistart",
+                 "mirror"),
+    )
+    p_opt.add_argument("--iterations", type=int, default=400)
+    p_opt.add_argument(
+        "--step-size", type=float, default=1e-6,
+        help="constant step for --algorithm basic",
+    )
+    p_opt.add_argument("--seed", type=int, default=0)
+    p_opt.add_argument("--save-matrix", help="write matrix JSON here")
+    p_opt.add_argument("--save-result", help="write result JSON here")
+    p_opt.set_defaults(handler=_cmd_optimize)
+
+    p_sim = sub.add_parser("simulate", help="simulate a schedule")
+    _add_topology_source(p_sim)
+    p_sim.add_argument("--matrix", required=True,
+                       help="matrix JSON from `optimize --save-matrix`")
+    p_sim.add_argument("--transitions", type=int, default=50_000)
+    p_sim.add_argument("--warmup", type=int, default=1_000)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(handler=_cmd_simulate)
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--seed", type=int, default=None)
+    p_exp.set_defaults(handler=_cmd_experiment)
+
+    p_team = sub.add_parser(
+        "team", help="simulate a homogeneous sensor team"
+    )
+    _add_topology_source(p_team)
+    p_team.add_argument("--matrix", required=True,
+                        help="matrix JSON from `optimize --save-matrix`")
+    p_team.add_argument("--sensors", type=int, default=3)
+    p_team.add_argument("--horizon", type=float, default=100_000.0)
+    p_team.add_argument("--seed", type=int, default=0)
+    p_team.set_defaults(handler=_cmd_team)
+
+    p_par = sub.add_parser(
+        "tradeoff", help="trace the coverage/exposure Pareto frontier"
+    )
+    _add_topology_source(p_par)
+    p_par.add_argument("--points", type=int, default=6)
+    p_par.add_argument("--beta-max", type=float, default=1.0)
+    p_par.add_argument("--beta-min", type=float, default=1e-6)
+    p_par.add_argument("--iterations", type=int, default=250)
+    p_par.add_argument("--seed", type=int, default=0)
+    p_par.set_defaults(handler=_cmd_tradeoff)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Core library: the paper's steepest-descent coverage optimizer.
+
+The pieces map one-to-one onto the paper's sections:
+
+* :mod:`repro.core.state` — per-iterate cache of ``(P, pi, Z, R)``.
+* :mod:`repro.core.terms` — objective terms (coverage deviation, exposure,
+  energy, entropy) with analytic partials w.r.t. ``(pi, Z, P)``.
+* :mod:`repro.core.penalty` — the log-barrier of Eq. (9).
+* :mod:`repro.core.cost` — the assembled cost ``U_eps`` and the paper's
+  reporting metrics ``Delta C`` (Eq. 12) and ``E-bar`` (Eq. 13).
+* :mod:`repro.core.gradient` — the total derivative ``[D_P U]`` (Eq. 10)
+  and its row-sum-zero projection (Eq. 11).
+* :mod:`repro.core.descent` / :mod:`~repro.core.adaptive` /
+  :mod:`~repro.core.perturbed` — algorithm variants V1-V4 (Section V).
+"""
+
+from repro.core.state import ChainState
+from repro.core.cost import CostBreakdown, CostWeights, CoverageCost
+from repro.core.initializers import (
+    damped_baseline_matrix,
+    dirichlet_matrix,
+    paper_random_matrix,
+    uniform_matrix,
+)
+from repro.core.result import IterationRecord, OptimizationResult
+from repro.core.descent import BasicDescentOptions, optimize_basic
+from repro.core.adaptive import AdaptiveOptions, optimize_adaptive
+from repro.core.perturbed import PerturbedOptions, optimize_perturbed
+from repro.core.mirror import MirrorOptions, optimize_mirror
+from repro.core.multistart import (
+    MultiStartResult,
+    default_start_portfolio,
+    optimize_multistart,
+)
+
+__all__ = [
+    "ChainState",
+    "CostBreakdown",
+    "CostWeights",
+    "CoverageCost",
+    "uniform_matrix",
+    "paper_random_matrix",
+    "dirichlet_matrix",
+    "damped_baseline_matrix",
+    "MultiStartResult",
+    "default_start_portfolio",
+    "optimize_multistart",
+    "IterationRecord",
+    "OptimizationResult",
+    "BasicDescentOptions",
+    "optimize_basic",
+    "AdaptiveOptions",
+    "optimize_adaptive",
+    "PerturbedOptions",
+    "optimize_perturbed",
+    "MirrorOptions",
+    "optimize_mirror",
+]

@@ -1,0 +1,125 @@
+"""Variants V2+V3: random initialization with adaptive step size.
+
+Each iteration performs an exact line search along the projected steepest
+descent ray using the conservative trisection of
+:mod:`repro.core.linesearch`.  The algorithm terminates when the line
+search returns ``dt* = 0``: no improving step exists along the computed
+descent direction, i.e. the iterate is (numerically) a local optimum —
+exactly the paper's definition in Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cost import CoverageCost
+from repro.core.initializers import paper_random_matrix
+from repro.core.linesearch import feasible_step_bound, trisection_search
+from repro.core.result import IterationRecord, OptimizationResult
+from repro.core.state import ChainState
+from repro.utils.rng import RandomState
+
+
+@dataclass(frozen=True)
+class AdaptiveOptions:
+    """Knobs of the adaptive algorithm (V2 + V3)."""
+
+    max_iterations: int = 500
+    trisection_rounds: int = 40
+    geometric_decades: int = 12
+    rtol: float = 1e-12
+    record_history: bool = True
+    checkpoint_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.trisection_rounds < 1:
+            raise ValueError("trisection_rounds must be >= 1")
+        if self.geometric_decades < 0:
+            raise ValueError("geometric_decades must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+
+
+def optimize_adaptive(
+    cost: CoverageCost,
+    initial: Optional[np.ndarray] = None,
+    seed: RandomState = None,
+    options: Optional[AdaptiveOptions] = None,
+) -> OptimizationResult:
+    """Run the adaptive algorithm on ``cost``.
+
+    ``initial`` defaults to the paper's V2 random matrix drawn with
+    ``seed``.  Returns with ``stop_reason = "local_optimum"`` when the line
+    search finds no improving step — the behavior Fig. 2 measures.
+    """
+    options = options or AdaptiveOptions()
+    matrix = (
+        paper_random_matrix(cost.size, seed=seed) if initial is None
+        else np.array(initial, dtype=float)
+    )
+    state = ChainState.from_matrix(matrix)
+    breakdown = cost.evaluate(state)
+    history = []
+    checkpoints = []
+    stop_reason = "max_iterations"
+    converged = False
+    iteration = 0
+
+    for iteration in range(1, options.max_iterations + 1):
+        direction = cost.descent_direction(state)
+        gradient_norm = float(np.linalg.norm(direction))
+        bound = feasible_step_bound(state.p, direction)
+
+        search = trisection_search(
+            upper=bound,
+            baseline=breakdown.u_eps,
+            rounds=options.trisection_rounds,
+            improvement_rtol=options.rtol,
+            geometric_decades=options.geometric_decades,
+            batch_objective=cost.ray_batch(state.p, direction),
+        )
+        if search.step == 0.0:
+            stop_reason = "local_optimum"
+            converged = True
+            iteration -= 1
+            break
+
+        state = ChainState.from_matrix(
+            state.p + search.step * direction, check=False
+        )
+        breakdown = cost.evaluate(state)
+        if (
+            options.checkpoint_every
+            and iteration % options.checkpoint_every == 0
+        ):
+            checkpoints.append((iteration, state.p.copy()))
+        if options.record_history:
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    u_eps=breakdown.u_eps,
+                    u=breakdown.u,
+                    delta_c=breakdown.delta_c,
+                    e_bar=breakdown.e_bar,
+                    step=search.step,
+                    gradient_norm=gradient_norm,
+                )
+            )
+
+    return OptimizationResult(
+        matrix=state.p.copy(),
+        u_eps=breakdown.u_eps,
+        u=breakdown.u,
+        delta_c=breakdown.delta_c,
+        e_bar=breakdown.e_bar,
+        iterations=iteration,
+        converged=converged,
+        stop_reason=stop_reason,
+        history=history,
+        checkpoints=checkpoints,
+    )

@@ -1,0 +1,159 @@
+"""Variant V1: the basic constant-step steepest-descent algorithm.
+
+Implements the computational algorithm of Section V verbatim:
+
+1. start from an ergodic ``P`` (uniform by default — V1),
+2. compute ``[D_P U]`` and its projection ``Pi [D_P U]``,
+3. set ``V = -Pi [D_P U]``,
+4. update ``P <- P + V * dt`` for a small constant ``dt``,
+5. recompute ``pi``, ``Z``, ``R`` for the new ``P``,
+6. repeat until stable (or an iteration budget is exhausted).
+
+One robustness addition over the paper's sketch: if the constant step
+would leave the feasible box (or land on a numerically non-ergodic
+matrix), the step is halved until feasible.  With the paper's step sizes
+(``dt = 1e-6``) this never triggers on the evaluation topologies; it
+protects against user-supplied large steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cost import CoverageCost
+from repro.core.initializers import uniform_matrix
+from repro.core.linesearch import feasible_step_bound
+from repro.core.result import IterationRecord, OptimizationResult
+from repro.core.state import ChainState
+
+
+@dataclass(frozen=True)
+class BasicDescentOptions:
+    """Knobs of the basic algorithm.
+
+    ``step_size`` is the paper's ``dt`` (its experiments use ``1e-6``
+    with travel times in seconds).  Convergence is declared when the
+    relative cost improvement stays below ``rtol`` for ``patience``
+    consecutive iterations, or the projected-gradient norm drops below
+    ``gradient_tol``.
+    """
+
+    step_size: float = 1e-6
+    max_iterations: int = 10_000
+    rtol: float = 1e-10
+    patience: int = 10
+    gradient_tol: float = 0.0
+    record_history: bool = True
+    checkpoint_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.step_size <= 0:
+            raise ValueError(f"step_size must be > 0, got {self.step_size}")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+
+
+def optimize_basic(
+    cost: CoverageCost,
+    initial: Optional[np.ndarray] = None,
+    options: Optional[BasicDescentOptions] = None,
+) -> OptimizationResult:
+    """Run the basic algorithm (V1) on ``cost``.
+
+    ``initial`` defaults to the uniform matrix ``p_ij = 1/M`` as in the
+    paper's V1; pass a random matrix for the V2 variant.
+    """
+    options = options or BasicDescentOptions()
+    matrix = (
+        uniform_matrix(cost.size) if initial is None
+        else np.array(initial, dtype=float)
+    )
+    state = ChainState.from_matrix(matrix)
+    breakdown = cost.evaluate(state)
+    history = []
+    checkpoints = []
+    stall = 0
+    stop_reason = "max_iterations"
+    converged = False
+    iteration = 0
+
+    for iteration in range(1, options.max_iterations + 1):
+        direction = cost.descent_direction(state)
+        gradient_norm = float(np.linalg.norm(direction))
+        if gradient_norm <= options.gradient_tol:
+            stop_reason = "gradient_tol"
+            converged = True
+            iteration -= 1
+            break
+
+        step = options.step_size
+        bound = feasible_step_bound(state.p, direction)
+        if bound <= 0.0:
+            stop_reason = "no_feasible_step"
+            break
+        step = min(step, bound)
+
+        # Halve on numerical failure (non-ergodic candidate etc.).
+        new_state = None
+        for _ in range(60):
+            try:
+                candidate = state.p + step * direction
+                new_state = ChainState.from_matrix(candidate, check=False)
+                break
+            except (ValueError, np.linalg.LinAlgError):
+                step *= 0.5
+        if new_state is None:
+            stop_reason = "step_collapse"
+            break
+
+        new_breakdown = cost.evaluate(new_state)
+        if options.record_history:
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    u_eps=new_breakdown.u_eps,
+                    u=new_breakdown.u,
+                    delta_c=new_breakdown.delta_c,
+                    e_bar=new_breakdown.e_bar,
+                    step=step,
+                    gradient_norm=gradient_norm,
+                )
+            )
+
+        if (
+            options.checkpoint_every
+            and iteration % options.checkpoint_every == 0
+        ):
+            checkpoints.append((iteration, new_state.p.copy()))
+
+        improvement = breakdown.u_eps - new_breakdown.u_eps
+        scale = max(1.0, abs(breakdown.u_eps))
+        if improvement <= options.rtol * scale:
+            stall += 1
+        else:
+            stall = 0
+        state, breakdown = new_state, new_breakdown
+        if stall >= options.patience:
+            stop_reason = "stalled"
+            converged = True
+            break
+
+    return OptimizationResult(
+        matrix=state.p.copy(),
+        u_eps=breakdown.u_eps,
+        u=breakdown.u,
+        delta_c=breakdown.delta_c,
+        e_bar=breakdown.e_bar,
+        iterations=iteration,
+        converged=converged,
+        stop_reason=stop_reason,
+        history=history,
+        checkpoints=checkpoints,
+    )

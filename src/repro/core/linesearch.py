@@ -1,0 +1,193 @@
+"""Step-size selection: feasibility bounds and conservative trisection.
+
+Variant V3 of the paper chooses the step ``dt* = argmin_d U(P + d V)``
+where ``V`` is the (projected, negated) gradient direction.  Because the
+cost along the ray is not known to be unimodal, the paper uses a
+*conservative trisection*: each refinement discards only one third of the
+current interval, so a minimum cannot be bracketed out by a single
+misleading comparison.
+
+Two additions over the paper's sketch, both needed in practice:
+
+* a **geometric pre-sweep** across step scales — the log-barrier makes the
+  useful step range span many orders of magnitude near the feasibility
+  boundary, where an interval-scale search alone stalls;
+* a **batched objective**: callers may supply ``d-array -> U-array`` so
+  all probes of a sweep are evaluated in one vectorized linear-algebra
+  call (see :meth:`repro.core.cost.CoverageCost.batch_values`).
+
+Feasibility: the ray must keep every ``p_ij`` strictly inside ``(0, 1)``
+(``U_eps`` is infinite on the boundary).  The upper bound on ``d`` is the
+largest step keeping all entries in the closed box, shrunk by a hair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.linalg import max_feasible_step
+
+#: Fraction of the boundary-hitting step that is considered usable.
+FEASIBLE_SHRINK = 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class LineSearchResult:
+    """Outcome of one line search.
+
+    ``step == 0`` signals that no improving step exists along the ray
+    within the resolution of the search — the paper's local-optimum
+    termination criterion for the adaptive algorithm.
+    """
+
+    step: float
+    value: float
+    evaluations: int
+    step_bound: float
+
+
+def feasible_step_bound(matrix: np.ndarray, direction: np.ndarray) -> float:
+    """Largest step keeping ``matrix + step * direction`` inside ``[0, 1]``.
+
+    Returns ``0`` for a zero direction.  The row-sum constraint needs no
+    bounding: ``direction`` has zero row sums by construction.
+    """
+    norm = float(np.abs(direction).max(initial=0.0))
+    if norm <= 0.0:
+        return 0.0
+    bound = max_feasible_step(matrix, direction, lower=0.0, upper=1.0)
+    if not np.isfinite(bound):
+        # Cannot happen for a nonzero zero-row-sum direction (some entry
+        # must decrease), but guard against degenerate inputs.
+        return 0.0
+    return bound * FEASIBLE_SHRINK
+
+
+class _RayEvaluator:
+    """Uniform wrapper over scalar and batched ray objectives."""
+
+    def __init__(
+        self,
+        objective: Optional[Callable[[float], float]],
+        batch_objective: Optional[Callable[[np.ndarray], np.ndarray]],
+    ) -> None:
+        if objective is None and batch_objective is None:
+            raise ValueError("provide objective or batch_objective")
+        self._objective = objective
+        self._batch = batch_objective
+        self.evaluations = 0
+
+    def __call__(self, steps: Sequence[float]) -> np.ndarray:
+        steps = np.asarray(steps, dtype=float)
+        self.evaluations += steps.size
+        if self._batch is not None:
+            with np.errstate(all="ignore"):
+                values = np.asarray(self._batch(steps), dtype=float)
+            values[~np.isfinite(values)] = np.inf
+            return values
+        values = np.empty(steps.size)
+        for index, step in enumerate(steps):
+            try:
+                value = float(self._objective(float(step)))
+            except (ValueError, np.linalg.LinAlgError, FloatingPointError):
+                value = np.inf
+            values[index] = value if np.isfinite(value) else np.inf
+        return values
+
+
+def trisection_search(
+    objective: Optional[Callable[[float], float]] = None,
+    upper: float = 0.0,
+    baseline: Optional[float] = None,
+    rounds: int = 40,
+    improvement_rtol: float = 1e-12,
+    geometric_decades: int = 12,
+    batch_objective: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> LineSearchResult:
+    """Minimize the ray objective over ``[0, upper]``.
+
+    Parameters
+    ----------
+    objective:
+        Scalar ``d -> U(P + d V)``.  Optional when ``batch_objective`` is
+        given.
+    upper:
+        Feasibility bound on the step; ``<= 0`` returns a zero step.
+    baseline:
+        ``U`` at ``d = 0``; computed from the objective when omitted.
+    rounds:
+        Trisection refinements.  Each round keeps 2/3 of the interval.
+    improvement_rtol:
+        The best point must beat the baseline by more than
+        ``improvement_rtol * max(1, |baseline|)`` to count; otherwise the
+        search reports ``step = 0`` (no improving step: a local optimum
+        along this ray).
+    geometric_decades:
+        Number of pre-sweep probes at ``upper * 10^-k``.
+    batch_objective:
+        Vectorized ``d-array -> U-array``; preferred when available.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if geometric_decades < 0:
+        raise ValueError(
+            f"geometric_decades must be >= 0, got {geometric_decades}"
+        )
+    evaluator = _RayEvaluator(objective, batch_objective)
+    if baseline is None:
+        baseline = float(evaluator([0.0])[0])
+    if upper <= 0.0 or not np.isfinite(baseline):
+        return LineSearchResult(
+            step=0.0, value=baseline, evaluations=evaluator.evaluations,
+            step_bound=max(upper, 0.0),
+        )
+
+    # Geometric sweep: the endpoint plus ``upper * 10^-k`` probes, all in
+    # one batched evaluation.
+    probes = float(upper) * 10.0 ** (
+        -np.arange(geometric_decades + 1, dtype=float)
+    )
+    probe_values = evaluator(probes)
+    best_index = int(np.argmin(probe_values))
+    best_step = float(probes[best_index])
+    best_value = float(probe_values[best_index])
+    if best_value >= baseline:
+        best_step, best_value = 0.0, float(baseline)
+
+    # Local trisection refinement in a bracket around the best probe (the
+    # whole interval when the sweep found nothing better than 0).
+    if best_step > 0.0:
+        lo = best_step * 0.1
+        hi = min(best_step * 10.0, float(upper))
+    else:
+        lo, hi = 0.0, float(upper)
+    for _ in range(rounds):
+        width = hi - lo
+        if width <= max(1e-15, 1e-12 * upper):
+            break
+        m1 = lo + width / 3.0
+        m2 = hi - width / 3.0
+        v1, v2 = evaluator([m1, m2])
+        if v1 < best_value:
+            best_step, best_value = m1, float(v1)
+        if v2 < best_value:
+            best_step, best_value = m2, float(v2)
+        # Conservative: drop only the one third on the losing side.
+        if v1 <= v2:
+            hi = m2
+        else:
+            lo = m1
+
+    threshold = baseline - improvement_rtol * max(1.0, abs(baseline))
+    if best_value >= threshold:
+        return LineSearchResult(
+            step=0.0, value=baseline, evaluations=evaluator.evaluations,
+            step_bound=upper,
+        )
+    return LineSearchResult(
+        step=best_step, value=best_value,
+        evaluations=evaluator.evaluations, step_bound=upper,
+    )

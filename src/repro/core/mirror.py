@@ -1,0 +1,187 @@
+"""Mirror descent in softmax coordinates (extension, ablation A5).
+
+The paper optimizes directly over the transition-matrix polytope, using a
+projection to stay row-stochastic and a log-barrier to stay off the
+boundary.  The textbook alternative reparametrizes each row through a
+softmax:
+
+    ``p_ij = exp(q_ij) / sum_k exp(q_ik)``,
+
+making every ``Q`` in ``R^{M x M}`` a strictly positive stochastic matrix
+— no projection, no feasibility bounds, no barrier blow-ups.  The chain
+rule against the paper's total derivative ``[D_P U]`` gives
+
+    ``dU/dq_ij = p_ij ([D_P U]_ij - sum_k p_ik [D_P U]_ik)``,
+
+i.e. the softmax Jacobian applied row-wise.  Updates use gradient descent
+with momentum and a line search over the step size in ``Q``-space.
+
+This optimizer exists to quantify the design choice (see ablation A5):
+it is *not* part of the paper's method.  In practice it trades the
+barrier's ill-conditioning for the softmax's own flatness near
+deterministic rows; neither dominates, which is itself a finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cost import CoverageCost
+from repro.core.linesearch import trisection_search
+from repro.core.result import IterationRecord, OptimizationResult
+from repro.core.state import ChainState
+from repro.utils.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class MirrorOptions:
+    """Knobs of the mirror-descent optimizer.
+
+    ``momentum`` is classical heavy-ball momentum on the ``Q``-space
+    gradient; ``max_logit`` clips ``Q`` entries to keep the softmax away
+    from exactly deterministic rows (the analogue of the paper's
+    epsilon barrier, but acting on the parametrization).
+    """
+
+    max_iterations: int = 400
+    momentum: float = 0.5
+    max_logit: float = 30.0
+    trisection_rounds: int = 20
+    geometric_decades: int = 10
+    rtol: float = 1e-12
+    record_history: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError(
+                f"momentum must lie in [0, 1), got {self.momentum}"
+            )
+        if self.max_logit <= 0:
+            raise ValueError("max_logit must be > 0")
+
+
+def softmax_rows(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift stabilization."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def logits_of(matrix: np.ndarray, floor: float = 1e-12) -> np.ndarray:
+    """A logit preimage of a positive stochastic matrix (log rows)."""
+    matrix = np.asarray(matrix, dtype=float)
+    return np.log(np.clip(matrix, floor, None))
+
+
+def gradient_in_logits(
+    p: np.ndarray, gradient_p: np.ndarray
+) -> np.ndarray:
+    """Chain rule through the row softmax.
+
+    ``dU/dQ = P * (G - rowsum(P * G))`` where ``G = [D_P U]``; each row
+    of the result automatically sums to zero (softmax gauge invariance).
+    """
+    inner = (p * gradient_p).sum(axis=1, keepdims=True)
+    return p * (gradient_p - inner)
+
+
+def optimize_mirror(
+    cost: CoverageCost,
+    initial: Optional[np.ndarray] = None,
+    seed: RandomState = None,
+    options: Optional[MirrorOptions] = None,
+) -> OptimizationResult:
+    """Minimize ``cost`` by mirror descent in softmax coordinates.
+
+    ``initial`` is a transition matrix (defaults to uniform); ``seed`` is
+    accepted for interface compatibility with the other optimizers and
+    used only when ``initial`` is None and random initialization is
+    desired by passing a generator — the default start is deterministic.
+    """
+    from repro.core.initializers import uniform_matrix
+
+    options = options or MirrorOptions()
+    _ = as_generator(seed)  # reserved; keeps the optimizer signature
+    if initial is None:
+        matrix = uniform_matrix(cost.size)
+    else:
+        matrix = np.array(initial, dtype=float)
+    logits = logits_of(matrix)
+    state = ChainState.from_matrix(softmax_rows(logits), check=False)
+    breakdown = cost.evaluate(state)
+    velocity = np.zeros_like(logits)
+    history = []
+    stop_reason = "max_iterations"
+    converged = False
+    iteration = 0
+
+    for iteration in range(1, options.max_iterations + 1):
+        gradient_p = cost.gradient(state)
+        gradient_q = gradient_in_logits(state.p, gradient_p)
+        velocity = options.momentum * velocity - gradient_q
+        gradient_norm = float(np.linalg.norm(gradient_q))
+
+        def ray_batch(steps, _logits=logits, _velocity=velocity):
+            steps = np.asarray(steps, dtype=float)
+            stack = np.clip(
+                _logits[None] + steps[:, None, None] * _velocity[None],
+                -options.max_logit, options.max_logit,
+            )
+            matrices = np.stack([softmax_rows(q) for q in stack])
+            return cost.batch_values(matrices)
+
+        # One full step may traverse the clipped logit box.
+        velocity_scale = float(np.abs(velocity).max())
+        if velocity_scale <= 0.0:
+            stop_reason = "zero_gradient"
+            converged = True
+            iteration -= 1
+            break
+        search = trisection_search(
+            upper=2.0 * options.max_logit / velocity_scale,
+            baseline=breakdown.u_eps,
+            rounds=options.trisection_rounds,
+            geometric_decades=options.geometric_decades,
+            improvement_rtol=options.rtol,
+            batch_objective=ray_batch,
+        )
+        if search.step == 0.0:
+            stop_reason = "local_optimum"
+            converged = True
+            iteration -= 1
+            break
+        logits = np.clip(
+            logits + search.step * velocity,
+            -options.max_logit, options.max_logit,
+        )
+        state = ChainState.from_matrix(softmax_rows(logits), check=False)
+        breakdown = cost.evaluate(state)
+        if options.record_history:
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    u_eps=breakdown.u_eps,
+                    u=breakdown.u,
+                    delta_c=breakdown.delta_c,
+                    e_bar=breakdown.e_bar,
+                    step=search.step,
+                    gradient_norm=gradient_norm,
+                )
+            )
+
+    return OptimizationResult(
+        matrix=state.p.copy(),
+        u_eps=breakdown.u_eps,
+        u=breakdown.u,
+        delta_c=breakdown.delta_c,
+        e_bar=breakdown.e_bar,
+        iterations=iteration,
+        converged=converged,
+        stop_reason=stop_reason,
+        history=history,
+    )

@@ -1,0 +1,227 @@
+"""Variant V4: stochastically perturbed steepest descent.
+
+The search space of this problem contains surprisingly many local optima
+(Section VI-A), so pure descent gets trapped from most random starts.  V4
+escapes them with two mechanisms (Section V):
+
+1. **Gradient noise** — mean-zero Gaussian noise with standard deviation
+   ``sigma`` is added to ``[D_P U]`` before projection, randomizing the
+   search direction.
+2. **Annealed acceptance** — when the line search finds no improving step
+   (``dt* = 0``), a random feasible step is taken instead; a move that
+   worsens the cost is accepted with probability
+   ``exp(-Delta_U / T(count))``, where ``Delta_U`` is the worsening
+   normalized by the best cost found so far and ``T(count) =
+   k / ln(count + e)`` is a Hajek-style logarithmic cooling schedule.
+
+The printed formula in the paper (``exp(-Delta_U / (k log count))``) would
+make acceptance *more* likely over time, contradicting both the
+surrounding text and the cited Hajek cooling result; see DESIGN.md
+section 2 for why we implement the decreasing schedule.
+
+The best-so-far matrix is tracked and returned: annealing deliberately
+wanders uphill, so the final iterate need not be the best one seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cost import CoverageCost
+from repro.core.initializers import paper_random_matrix
+from repro.core.linesearch import feasible_step_bound, trisection_search
+from repro.core.result import IterationRecord, OptimizationResult
+from repro.core.state import ChainState
+from repro.utils.linalg import project_row_sum_zero
+from repro.utils.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class PerturbedOptions:
+    """Knobs of the perturbed algorithm (V2 + V3 + V4).
+
+    ``sigma`` scales the gradient noise *relative to* the gradient's RMS
+    magnitude when ``relative_noise`` is true (robust across topologies
+    whose gradient scales differ by orders of magnitude); set
+    ``relative_noise=False`` for absolute noise.  ``cooling_k`` is the
+    paper's constant ``k`` (its experiments use ``k = 10000``).
+    ``stall_limit`` stops a run after that many iterations without
+    improving the best cost.
+    """
+
+    max_iterations: int = 600
+    sigma: float = 0.5
+    relative_noise: bool = True
+    cooling_k: float = 10_000.0
+    stall_limit: int = 120
+    trisection_rounds: int = 40
+    geometric_decades: int = 12
+    rtol: float = 1e-12
+    record_history: bool = True
+    checkpoint_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+        if self.cooling_k <= 0:
+            raise ValueError(f"cooling_k must be > 0, got {self.cooling_k}")
+        if self.stall_limit < 1:
+            raise ValueError("stall_limit must be >= 1")
+        if self.geometric_decades < 0:
+            raise ValueError("geometric_decades must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+
+
+def acceptance_probability(
+    worsening: float, best_cost: float, count: int, cooling_k: float
+) -> float:
+    """Annealed probability of accepting a move that worsens ``U`` by
+    ``worsening`` at iteration ``count``.
+
+    ``worsening`` is normalized by ``|best_cost|`` so the schedule works
+    without knowing the range of ``U_eps`` beforehand (the paper's stated
+    motivation for the normalization).  The temperature is
+    ``T = cooling_k / ln(count + e)``, strictly decreasing in ``count``.
+    """
+    if worsening <= 0.0:
+        return 1.0
+    scale = max(abs(best_cost), 1e-300)
+    normalized = worsening / scale
+    temperature = cooling_k / np.log(count + np.e)
+    return float(np.exp(-normalized / temperature))
+
+
+def optimize_perturbed(
+    cost: CoverageCost,
+    initial: Optional[np.ndarray] = None,
+    seed: RandomState = None,
+    options: Optional[PerturbedOptions] = None,
+) -> OptimizationResult:
+    """Run the stochastically perturbed algorithm on ``cost``.
+
+    The returned ``matrix``/``u_eps`` are the **best** iterate found (the
+    quantity the paper reports); the full trajectory, including rejected
+    and uphill moves, is available in ``history``.
+    """
+    options = options or PerturbedOptions()
+    rng = as_generator(seed)
+    matrix = (
+        paper_random_matrix(cost.size, seed=rng) if initial is None
+        else np.array(initial, dtype=float)
+    )
+    state = ChainState.from_matrix(matrix)
+    breakdown = cost.evaluate(state)
+    best_matrix = state.p.copy()
+    best_u_eps = breakdown.u_eps
+    best_breakdown = breakdown
+    history = []
+    checkpoints = []
+    stall = 0
+    stop_reason = "max_iterations"
+    iteration = 0
+
+    for iteration in range(1, options.max_iterations + 1):
+        gradient = cost.gradient(state)
+        gradient_norm = float(np.linalg.norm(gradient))
+        if options.sigma > 0.0:
+            if options.relative_noise:
+                rms = gradient_norm / state.p.size**0.5
+                noise_scale = options.sigma * max(rms, 1e-300)
+            else:
+                noise_scale = options.sigma
+            gradient = gradient + rng.normal(
+                0.0, noise_scale, size=gradient.shape
+            )
+        direction = -project_row_sum_zero(gradient)
+        bound = feasible_step_bound(state.p, direction)
+
+        search = trisection_search(
+            upper=bound,
+            baseline=breakdown.u_eps,
+            rounds=options.trisection_rounds,
+            improvement_rtol=options.rtol,
+            geometric_decades=options.geometric_decades,
+            batch_objective=cost.ray_batch(state.p, direction),
+        )
+        if search.step > 0.0:
+            step = search.step
+        elif bound > 0.0:
+            # Paper: "if dt* = 0 then dt = rand" within the feasible range.
+            step = rng.uniform(0.0, bound)
+        else:
+            step = 0.0
+
+        accepted = False
+        if step > 0.0:
+            try:
+                candidate_state = ChainState.from_matrix(
+                    state.p + step * direction, check=False
+                )
+                candidate_breakdown = cost.evaluate(candidate_state)
+            except (ValueError, np.linalg.LinAlgError):
+                candidate_state = None
+                candidate_breakdown = None
+            if candidate_breakdown is not None and np.isfinite(
+                candidate_breakdown.u_eps
+            ):
+                worsening = candidate_breakdown.u_eps - breakdown.u_eps
+                probability = acceptance_probability(
+                    worsening, best_u_eps, iteration, options.cooling_k
+                )
+                if worsening <= 0.0 or rng.uniform() < probability:
+                    state = candidate_state
+                    breakdown = candidate_breakdown
+                    accepted = True
+
+        if breakdown.u_eps < best_u_eps - 1e-15:
+            best_u_eps = breakdown.u_eps
+            best_matrix = state.p.copy()
+            best_breakdown = breakdown
+            stall = 0
+        else:
+            stall += 1
+
+        if options.record_history:
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    u_eps=breakdown.u_eps,
+                    u=breakdown.u,
+                    delta_c=breakdown.delta_c,
+                    e_bar=breakdown.e_bar,
+                    step=step if accepted else 0.0,
+                    gradient_norm=gradient_norm,
+                    accepted=accepted,
+                )
+            )
+
+        if (
+            options.checkpoint_every
+            and iteration % options.checkpoint_every == 0
+        ):
+            checkpoints.append((iteration, state.p.copy()))
+
+        if stall >= options.stall_limit:
+            stop_reason = "stalled"
+            break
+
+    return OptimizationResult(
+        matrix=best_matrix,
+        u_eps=best_breakdown.u_eps,
+        u=best_breakdown.u,
+        delta_c=best_breakdown.delta_c,
+        e_bar=best_breakdown.e_bar,
+        iterations=iteration,
+        converged=stop_reason == "stalled",
+        stop_reason=stop_reason,
+        history=history,
+        best_matrix=best_matrix,
+        best_u_eps=best_u_eps,
+        checkpoints=checkpoints,
+    )

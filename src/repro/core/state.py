@@ -1,0 +1,99 @@
+"""Per-iterate chain state: ``(P, pi, Z, R)`` computed once and shared.
+
+Every steepest-descent iteration evaluates the cost and its gradient at the
+same transition matrix; both need the stationary distribution and the
+fundamental matrix.  :class:`ChainState` computes them exactly once per
+matrix (step 5 of the paper's computational algorithm, Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.markov.fundamental import fundamental_matrix
+from repro.markov.passage import first_passage_times
+from repro.markov.stationary import stationary_via_linear_solve
+from repro.utils.linalg import is_row_stochastic
+from repro.utils.validation import check_square
+
+
+@dataclass(frozen=True)
+class ChainState:
+    """Immutable snapshot of a transition matrix and derived matrices.
+
+    Attributes
+    ----------
+    p:
+        Transition matrix.
+    pi:
+        Stationary distribution.
+    z:
+        Fundamental matrix ``(I - P + W)^{-1}``.
+    """
+
+    p: np.ndarray
+    pi: np.ndarray
+    z: np.ndarray
+    _r_cache: list = field(default_factory=list, repr=False, compare=False)
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, check: bool = True):
+        """Build the state for ``matrix``.
+
+        ``check=True`` validates stochasticity (cheap); ergodicity is
+        implied by a successful stationary solve with positive entries,
+        which is verified unconditionally because the downstream exposure
+        formulas divide by ``pi``.
+        """
+        matrix = check_square("matrix", matrix)
+        if check and not is_row_stochastic(matrix):
+            raise ValueError(
+                "matrix must be row-stochastic; row sums are "
+                f"{np.asarray(matrix).sum(axis=1)}"
+            )
+        pi = stationary_via_linear_solve(matrix)
+        if np.any(pi <= 0):
+            raise ValueError(
+                "stationary distribution has non-positive entries "
+                f"(min {pi.min():.3g}); the chain is not ergodic"
+            )
+        z = fundamental_matrix(matrix, pi)
+        return cls(p=matrix, pi=pi, z=z)
+
+    @property
+    def size(self) -> int:
+        """Number of states."""
+        return self.p.shape[0]
+
+    @property
+    def r(self) -> np.ndarray:
+        """First-passage-time matrix (transitions), computed on demand."""
+        if not self._r_cache:
+            self._r_cache.append(
+                first_passage_times(self.p, self.z, self.pi)
+            )
+        return self._r_cache[0]
+
+    def exposure_times(self) -> np.ndarray:
+        """Per-PoI average exposure times ``E-bar_i`` (Eq. 3).
+
+        ``E-bar_i = sum_{j != i} p_ij R_ji / (1 - p_ii)`` in transition
+        units, computed via the fundamental matrix so no explicit ``R`` is
+        required: ``R_ji = (z_ii - z_ji) / pi_i`` for ``j != i``.
+        """
+        count = self.size
+        p, pi, z = self.p, self.pi, self.z
+        staying = np.diag(p)
+        if np.any(staying >= 1.0 - 1e-13):
+            raise ValueError(
+                "some p_ii is numerically 1; the sensor never leaves that "
+                "PoI and its exposure time is undefined (division by "
+                "1 - p_ii)"
+            )
+        z_diag = np.diag(z)
+        # weights[i, j] = p_ij * (z_ii - z_ji) for j != i, 0 on diagonal.
+        passage_to_i = (z_diag[None, :] - z) / pi[None, :]  # R_ji over (j, i)
+        weights = p * passage_to_i.T  # (i, j): p_ij * R_ji
+        np.fill_diagonal(weights, 0.0)
+        return weights.sum(axis=1) / (1.0 - staying)

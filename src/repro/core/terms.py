@@ -1,0 +1,249 @@
+"""Objective terms and their analytic partial derivatives.
+
+The cost ``U`` is a sum of terms, each a function of the chain state
+``(pi, Z, P)``.  A term contributes its value and the three partials
+
+    ``dU/dpi`` (vector), ``dU/dZ`` (matrix), ``dU/dP`` (matrix),
+
+which the gradient engine combines with the Schweitzer adjoints into the
+total derivative ``[D_P U]`` of Eq. (10).  Terms may return ``None`` for a
+partial that is identically zero, which the engine skips.
+
+Implemented terms:
+
+* :class:`CoverageDeviationTerm` — ``sum_i (alpha_i / 2) c_i^2`` with
+  ``c_i = sum_{j,k} pi_j p_jk (T_{jk,i} - Phi_i T_jk)`` (Eq. 9, first sum).
+* :class:`ExposureTerm` — ``sum_i (beta_i / 2) E-bar_i^2`` (Eq. 9, second
+  sum, written via the fundamental matrix).
+* :class:`EnergyTerm` — ``(w/2) (D - gamma)^2`` with
+  ``D = sum_i pi_i sum_{j != i} p_ij d_ij`` (Section VII).
+* :class:`EntropyTerm` — ``-w H`` with the chain entropy rate ``H``
+  (Section VII), i.e. entropy *maximization* inside a minimization.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.core.state import ChainState
+from repro.utils.validation import check_square
+
+
+def broadcast_weights(name: str, weights, size: int) -> np.ndarray:
+    """Expand a scalar or per-PoI weight spec into a length-``size`` array."""
+    array = np.broadcast_to(np.asarray(weights, dtype=float), (size,)).copy()
+    if np.any(array < 0) or not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} weights must be finite and >= 0")
+    return array
+
+
+class ObjectiveTerm(abc.ABC):
+    """A differentiable summand of the cost function."""
+
+    @abc.abstractmethod
+    def value(self, state: ChainState) -> float:
+        """Evaluate the term at ``state``."""
+
+    def grad_pi(self, state: ChainState) -> Optional[np.ndarray]:
+        """Partial derivative w.r.t. ``pi``; ``None`` means zero."""
+        return None
+
+    def grad_z(self, state: ChainState) -> Optional[np.ndarray]:
+        """Partial derivative w.r.t. ``Z``; ``None`` means zero."""
+        return None
+
+    def grad_p(self, state: ChainState) -> Optional[np.ndarray]:
+        """Direct partial w.r.t. ``P`` (holding ``pi``, ``Z`` fixed)."""
+        return None
+
+
+class CoverageDeviationTerm(ObjectiveTerm):
+    """Weighted squared deviation of coverage shares from the target.
+
+    Precomputes ``B[i, j, k] = T_{jk,i} - Phi_i T_jk`` once; every
+    evaluation is then a couple of einsums.
+    """
+
+    def __init__(
+        self,
+        travel_times: np.ndarray,
+        passby: np.ndarray,
+        target_shares: np.ndarray,
+        alpha,
+    ) -> None:
+        travel_times = check_square("travel_times", travel_times)
+        size = travel_times.shape[0]
+        passby = np.asarray(passby, dtype=float)
+        if passby.shape != (size, size, size):
+            raise ValueError(
+                f"passby must have shape {(size, size, size)}, "
+                f"got {passby.shape}"
+            )
+        target_shares = np.asarray(target_shares, dtype=float)
+        if target_shares.shape != (size,):
+            raise ValueError(
+                f"target_shares must have shape ({size},), "
+                f"got {target_shares.shape}"
+            )
+        self.alpha = broadcast_weights("alpha", alpha, size)
+        # B indexed [i, j, k]; passby is indexed [j, k, i].
+        self._b = (
+            passby.transpose(2, 0, 1)
+            - target_shares[:, None, None] * travel_times[None, :, :]
+        )
+
+    def deviations(self, state: ChainState) -> np.ndarray:
+        """The per-PoI deviations ``c_i = sum_jk pi_j p_jk B[i, j, k]``."""
+        weighted = state.pi[:, None] * state.p
+        return np.einsum("jk,ijk->i", weighted, self._b)
+
+    def value(self, state: ChainState) -> float:
+        c = self.deviations(state)
+        return float(0.5 * np.sum(self.alpha * c * c))
+
+    def grad_pi(self, state: ChainState) -> np.ndarray:
+        c = self.deviations(state)
+        # s[i, j] = sum_k p_jk B[i, j, k]; dU/dpi_j = sum_i alpha_i c_i s_ij.
+        s = np.einsum("jk,ijk->ij", state.p, self._b)
+        return (self.alpha * c) @ s
+
+    def grad_p(self, state: ChainState) -> np.ndarray:
+        c = self.deviations(state)
+        # dU/dp_jk = pi_j sum_i alpha_i c_i B[i, j, k].
+        contracted = np.einsum("i,ijk->jk", self.alpha * c, self._b)
+        return state.pi[:, None] * contracted
+
+
+class ExposureTerm(ObjectiveTerm):
+    """Weighted squared per-PoI average exposure times.
+
+    Uses the Eq. (9) representation through the fundamental matrix:
+    ``E-bar_i = n_i / (pi_i (1 - p_ii))`` with
+    ``n_i = sum_{j != i} p_ij (z_ii - z_ji)``.
+    """
+
+    def __init__(self, beta, size: int) -> None:
+        self.beta = broadcast_weights("beta", beta, size)
+
+    @staticmethod
+    def _pieces(state: ChainState):
+        """Return ``(e, n, staying)`` with the stability guard applied."""
+        staying = np.diag(state.p)
+        if np.any(staying >= 1.0 - 1e-13):
+            raise ValueError(
+                "some p_ii is numerically 1; exposure times are undefined"
+            )
+        z_diag = np.diag(state.z)
+        diffs = z_diag[None, :] - state.z  # (j, i): z_ii - z_ji
+        weights = state.p * diffs.T  # (i, j): p_ij (z_ii - z_ji)
+        np.fill_diagonal(weights, 0.0)
+        n = weights.sum(axis=1)
+        e = n / (state.pi * (1.0 - staying))
+        return e, n, staying
+
+    def exposures(self, state: ChainState) -> np.ndarray:
+        """The per-PoI exposure times ``E-bar_i``."""
+        return self._pieces(state)[0]
+
+    def value(self, state: ChainState) -> float:
+        e = self.exposures(state)
+        return float(0.5 * np.sum(self.beta * e * e))
+
+    def grad_pi(self, state: ChainState) -> np.ndarray:
+        e, _, _ = self._pieces(state)
+        # de_i/dpi_i = -e_i / pi_i  (pi enters only through the denominator).
+        return -self.beta * e * e / state.pi
+
+    def grad_z(self, state: ChainState) -> np.ndarray:
+        e, _, staying = self._pieces(state)
+        denom = state.pi * (1.0 - staying)
+        scale = self.beta * e  # beta_i e_i, chain through e_i
+        grad = np.zeros_like(state.z)
+        # dn_i/dz_ji = -p_ij for j != i  ->  grad[j, i] -= scale_i p_ij / denom_i
+        grad -= (scale / denom)[None, :] * state.p.T
+        np.fill_diagonal(grad, 0.0)
+        # dn_i/dz_ii = sum_{j != i} p_ij = 1 - p_ii  ->  grad[i, i].
+        grad[np.diag_indices_from(grad)] = scale * (1.0 - staying) / denom
+        return grad
+
+    def grad_p(self, state: ChainState) -> np.ndarray:
+        e, _, staying = self._pieces(state)
+        denom = state.pi * (1.0 - staying)
+        scale = self.beta * e
+        z_diag = np.diag(state.z)
+        diffs = (z_diag[None, :] - state.z).T  # (i, j): z_ii - z_ji
+        grad = (scale / denom)[:, None] * diffs
+        # de_i/dp_ii = e_i / (1 - p_ii).
+        grad[np.diag_indices_from(grad)] = scale * e / (1.0 - staying)
+        return grad
+
+
+class EnergyTerm(ObjectiveTerm):
+    """Travel-energy control ``(w/2) (D - gamma)^2`` (Section VII).
+
+    ``gamma = 0`` reduces to penalizing the mean per-transition travel
+    distance ``D`` itself; a positive ``gamma`` *prescribes* an average
+    movement level, which Section VII notes can be advantageous.
+    """
+
+    def __init__(self, distances: np.ndarray, weight: float,
+                 target: float = 0.0) -> None:
+        self.distances = check_square("distances", distances)
+        if weight < 0:
+            raise ValueError(f"weight must be >= 0, got {weight}")
+        self.weight = float(weight)
+        self.target = float(target)
+
+    def mean_travel(self, state: ChainState) -> float:
+        """``D = sum_i pi_i sum_{j != i} p_ij d_ij`` (d_ii = 0)."""
+        return float(state.pi @ (state.p * self.distances).sum(axis=1))
+
+    def value(self, state: ChainState) -> float:
+        gap = self.mean_travel(state) - self.target
+        return float(0.5 * self.weight * gap * gap)
+
+    def grad_pi(self, state: ChainState) -> np.ndarray:
+        gap = self.mean_travel(state) - self.target
+        return self.weight * gap * (state.p * self.distances).sum(axis=1)
+
+    def grad_p(self, state: ChainState) -> np.ndarray:
+        gap = self.mean_travel(state) - self.target
+        return self.weight * gap * state.pi[:, None] * self.distances
+
+
+class EntropyTerm(ObjectiveTerm):
+    """Entropy regularization ``-w H`` (Section VII).
+
+    Adding this term to a minimized cost maximizes the schedule's entropy
+    rate, making the sensor's location harder for an adversary to predict.
+    """
+
+    def __init__(self, weight: float) -> None:
+        if weight < 0:
+            raise ValueError(f"weight must be >= 0, got {weight}")
+        self.weight = float(weight)
+
+    @staticmethod
+    def _row_plogp(p: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(p > 0.0, p * np.log(p), 0.0)
+
+    def entropy(self, state: ChainState) -> float:
+        """Entropy rate ``H`` at ``state`` in nats."""
+        return float(-state.pi @ self._row_plogp(state.p).sum(axis=1))
+
+    def value(self, state: ChainState) -> float:
+        return -self.weight * self.entropy(state)
+
+    def grad_pi(self, state: ChainState) -> np.ndarray:
+        # dH/dpi_i = -sum_j p_ij ln p_ij; value = -w H.
+        return self.weight * self._row_plogp(state.p).sum(axis=1)
+
+    def grad_p(self, state: ChainState) -> np.ndarray:
+        # dH/dp_ij = -pi_i (ln p_ij + 1); value = -w H.
+        with np.errstate(divide="ignore"):
+            logs = np.where(state.p > 0.0, np.log(state.p), 0.0)
+        return self.weight * state.pi[:, None] * (logs + 1.0)

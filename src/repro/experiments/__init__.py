@@ -1,0 +1,104 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each entry point returns a structured result
+(:class:`~repro.experiments.reporting.TableResult` or
+:class:`~repro.experiments.reporting.FigureResult`) whose ``render()``
+prints the same rows/series the paper reports.  CI-sized parameters are
+the default; set ``REPRO_PAPER_SCALE=1`` for the paper's run counts (see
+:mod:`repro.experiments.config`).
+"""
+
+from repro.experiments.config import (
+    CI_SCALE,
+    PAPER_SCALE,
+    PAPER_SCALE_ENV,
+    ExperimentScale,
+    current_scale,
+    paper_scale_requested,
+)
+from repro.experiments.reporting import (
+    FigureResult,
+    Series,
+    TableResult,
+    empirical_cdf,
+    format_table,
+)
+from repro.experiments.tables import (
+    TABLE1_RATIOS,
+    TABLE4_RATIOS,
+    SweepEntry,
+    run_weight_sweep,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.figures import (
+    figure2a,
+    figure2b,
+    figure3,
+    figure4,
+    figure5a,
+    figure5b,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.experiments.ablations import (
+    ablation_epsilon,
+    ablation_linesearch,
+    ablation_noise,
+    ablation_optimizer,
+    ablation_step_size,
+)
+from repro.experiments.extensions import (
+    extension_capture,
+    extension_energy,
+    extension_entropy,
+    extension_team,
+)
+from repro.experiments.baselines_exp import baseline_comparison
+from repro.experiments.validation import Criterion, validate_reproduction
+
+__all__ = [
+    "CI_SCALE",
+    "PAPER_SCALE",
+    "PAPER_SCALE_ENV",
+    "ExperimentScale",
+    "current_scale",
+    "paper_scale_requested",
+    "FigureResult",
+    "Series",
+    "TableResult",
+    "empirical_cdf",
+    "format_table",
+    "TABLE1_RATIOS",
+    "TABLE4_RATIOS",
+    "SweepEntry",
+    "run_weight_sweep",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure2a",
+    "figure2b",
+    "figure3",
+    "figure4",
+    "figure5a",
+    "figure5b",
+    "figure6",
+    "figure7",
+    "figure8",
+    "ablation_epsilon",
+    "ablation_linesearch",
+    "ablation_noise",
+    "ablation_optimizer",
+    "ablation_step_size",
+    "extension_capture",
+    "extension_energy",
+    "extension_entropy",
+    "extension_team",
+    "baseline_comparison",
+    "Criterion",
+    "validate_reproduction",
+]

@@ -1,0 +1,89 @@
+"""Experiment scaling: CI-sized defaults vs paper-sized runs.
+
+The paper's measurements use e.g. 200 independent optimization runs
+(Table III) and per-iteration Markov chain simulations repeated ten times
+(Figs. 6-8).  Running all of that takes tens of minutes; the default
+scale keeps every experiment's *shape* while fitting in a CI budget.
+
+Set the environment variable ``REPRO_PAPER_SCALE=1`` to run everything at
+the paper's scale, or pass explicit parameters to any experiment
+function (explicit arguments always win).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Environment variable that switches to paper-scale runs.
+PAPER_SCALE_ENV = "REPRO_PAPER_SCALE"
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Run counts and iteration budgets for the whole experiment suite."""
+
+    #: Independent runs per algorithm for the Fig. 2 CDFs.
+    cdf_runs: int
+    #: Independent runs per algorithm for Table III.
+    table3_runs: int
+    #: Iteration budget of adaptive/perturbed runs in CDF experiments.
+    search_iterations: int
+    #: Iteration budget for the weight-sweep (Tables I/II) optimizations.
+    sweep_iterations: int
+    #: Random starts per weight in the multi-start sweeps.
+    sweep_random_starts: int
+    #: Basic-descent iteration budget for trace figures (Figs. 3-5a).
+    basic_iterations: int
+    #: Basic-descent step size for trace figures.
+    basic_step: float
+    #: Perturbed iteration budget for trace figures (Fig. 5b).
+    trace_iterations: int
+    #: Markov-chain transitions per simulation run (Figs. 6-8, Table IV).
+    sim_transitions: int
+    #: Simulation repetitions per measured point.
+    sim_repetitions: int
+    #: Number of optimizer checkpoints simulated per trajectory figure.
+    sim_checkpoints: int
+
+
+#: Fast defaults: every experiment finishes in seconds to a few minutes.
+CI_SCALE = ExperimentScale(
+    cdf_runs=24,
+    table3_runs=40,
+    search_iterations=350,
+    sweep_iterations=400,
+    sweep_random_starts=2,
+    basic_iterations=4000,
+    basic_step=1e-5,
+    trace_iterations=350,
+    sim_transitions=20_000,
+    sim_repetitions=5,
+    sim_checkpoints=8,
+)
+
+#: The paper's scale (Table III: 200 runs; 10 simulation repetitions).
+PAPER_SCALE = ExperimentScale(
+    cdf_runs=100,
+    table3_runs=200,
+    search_iterations=800,
+    sweep_iterations=1000,
+    sweep_random_starts=4,
+    basic_iterations=100_000,
+    basic_step=1e-6,
+    trace_iterations=800,
+    sim_transitions=200_000,
+    sim_repetitions=10,
+    sim_checkpoints=12,
+)
+
+
+def paper_scale_requested() -> bool:
+    """Whether ``REPRO_PAPER_SCALE`` requests full-scale runs."""
+    value = os.environ.get(PAPER_SCALE_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no")
+
+
+def current_scale() -> ExperimentScale:
+    """The active scale (environment-controlled)."""
+    return PAPER_SCALE if paper_scale_requested() else CI_SCALE

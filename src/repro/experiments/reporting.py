@@ -1,0 +1,141 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Render one cell: floats compactly, everything else via ``str``."""
+    if isinstance(value, (float, np.floating)):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence],
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(columns[i])), *(len(r[i]) for r in rendered))
+        if rendered else len(str(columns[i]))
+        for i in range(len(columns))
+    ]
+    def line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    header = line(columns)
+    rule = "-" * len(header)
+    body = "\n".join(line(r) for r in rendered)
+    return f"{header}\n{rule}\n{body}" if rendered else f"{header}\n{rule}"
+
+
+@dataclass
+class TableResult:
+    """A reproduced paper table: columns, rows, and raw arrays."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[List]
+    raw: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self, precision: int = 4) -> str:
+        """Render the full table with its title and notes."""
+        text = (
+            f"== {self.experiment_id}: {self.title} ==\n"
+            + format_table(self.columns, self.rows, precision)
+        )
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+
+@dataclass
+class Series:
+    """One curve of a figure: x values, y values, optional error band."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+    y_low: Optional[np.ndarray] = None
+    y_high: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise ValueError(
+                f"x and y must have matching shapes, got {self.x.shape} "
+                f"vs {self.y.shape}"
+            )
+
+
+@dataclass
+class FigureResult:
+    """A reproduced paper figure: a bundle of labeled series."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    raw: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self, max_points: int = 12, precision: int = 4) -> str:
+        """Render each series as a downsampled (x, y) listing."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"   x = {self.x_label}, y = {self.y_label}",
+        ]
+        for series in self.series:
+            indices = _downsample_indices(series.x.size, max_points)
+            points = ", ".join(
+                f"({format_value(series.x[i], 3)}, "
+                f"{format_value(series.y[i], precision)})"
+                for i in indices
+            )
+            parts.append(f"   {series.label}: {points}")
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def _downsample_indices(size: int, max_points: int) -> np.ndarray:
+    """Indices of at most ``max_points`` roughly log-spaced samples."""
+    if size <= 0:
+        return np.array([], dtype=int)
+    if size <= max_points:
+        return np.arange(size)
+    # Log spacing shows both the fast early decay and the tail.
+    raw = np.unique(
+        np.round(
+            np.logspace(0, np.log10(size), max_points)
+        ).astype(int) - 1
+    )
+    return np.clip(raw, 0, size - 1)
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted values, cumulative probabilities)``."""
+    values = np.sort(np.asarray(values, dtype=float))
+    if values.size == 0:
+        return values, values
+    probabilities = np.arange(1, values.size + 1) / values.size
+    return values, probabilities

@@ -1,0 +1,156 @@
+"""Shared drivers for multi-run experiments.
+
+Everything the per-table/per-figure code has in common: running an
+algorithm across many independent seeds, optimizing one weight setting
+with the multi-start portfolio, and simulating a matrix repeatedly to get
+percentile bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveOptions, optimize_adaptive
+from repro.core.cost import CostWeights, CoverageCost
+from repro.core.multistart import optimize_multistart
+from repro.core.perturbed import PerturbedOptions, optimize_perturbed
+from repro.core.result import OptimizationResult
+from repro.simulation.engine import SimulationOptions, simulate_schedule
+from repro.topology.model import Topology
+from repro.utils.rng import spawn_generators
+
+
+def run_many(
+    cost: CoverageCost,
+    algorithm: str,
+    runs: int,
+    iterations: int,
+    seed: int = 0,
+    trisection_rounds: int = 20,
+) -> List[OptimizationResult]:
+    """Run ``algorithm`` (``"adaptive"`` or ``"perturbed"``) ``runs`` times.
+
+    Each run draws an independent random initial matrix (the paper's V2
+    recipe) from an independent RNG stream.  History recording is off:
+    multi-run experiments only need the achieved costs.
+    """
+    if algorithm not in ("adaptive", "perturbed"):
+        raise ValueError(
+            f"algorithm must be 'adaptive' or 'perturbed', got {algorithm!r}"
+        )
+    results = []
+    for rng in spawn_generators(seed, runs):
+        if algorithm == "adaptive":
+            results.append(
+                optimize_adaptive(
+                    cost,
+                    seed=rng,
+                    options=AdaptiveOptions(
+                        max_iterations=iterations,
+                        trisection_rounds=trisection_rounds,
+                        record_history=False,
+                    ),
+                )
+            )
+        else:
+            results.append(
+                optimize_perturbed(
+                    cost,
+                    seed=rng,
+                    options=PerturbedOptions(
+                        max_iterations=iterations,
+                        trisection_rounds=trisection_rounds,
+                        stall_limit=max(iterations, 1),
+                        record_history=False,
+                    ),
+                )
+            )
+    return results
+
+
+def optimize_weight_setting(
+    topology: Topology,
+    alpha: float,
+    beta: float,
+    iterations: int,
+    random_starts: int = 2,
+    seed: int = 0,
+    epsilon: float = 1e-4,
+    initial: Optional[np.ndarray] = None,
+) -> OptimizationResult:
+    """Best matrix for one ``(alpha, beta)`` weighting.
+
+    Uses the multi-start perturbed optimizer (see
+    :mod:`repro.core.multistart`); ``initial``, when given, is added to
+    the portfolio as a warm start (used by sweep continuation).
+    """
+    cost = CoverageCost(
+        topology, CostWeights(alpha=alpha, beta=beta, epsilon=epsilon)
+    )
+    options = PerturbedOptions(
+        max_iterations=iterations,
+        trisection_rounds=20,
+        stall_limit=max(iterations, 1),
+        record_history=False,
+    )
+    multi = optimize_multistart(
+        cost,
+        random_starts=random_starts,
+        seed=seed,
+        options=options,
+    )
+    best = multi.best
+    if initial is not None:
+        warm = optimize_perturbed(
+            cost, initial=initial, seed=seed + 1, options=options
+        )
+        if warm.best_u_eps < best.best_u_eps:
+            best = warm
+    return best
+
+
+@dataclass
+class SimulationBand:
+    """Mean and percentile band of a repeatedly simulated metric."""
+
+    mean: float
+    p25: float
+    p75: float
+
+
+def simulate_repeatedly(
+    topology: Topology,
+    matrix: np.ndarray,
+    transitions: int,
+    repetitions: int,
+    seed: int = 0,
+    warmup: Optional[int] = None,
+):
+    """Simulate ``matrix`` several times; return the per-run results."""
+    if warmup is None:
+        warmup = max(transitions // 10, 100)
+    results = []
+    for rng in spawn_generators(seed, repetitions):
+        results.append(
+            simulate_schedule(
+                topology,
+                matrix,
+                transitions=transitions,
+                seed=rng,
+                options=SimulationOptions(warmup=warmup),
+            )
+        )
+    return results
+
+
+def metric_band(values: Sequence[float]) -> SimulationBand:
+    """Mean and 25th/75th percentiles of one measured metric."""
+    values = np.asarray(values, dtype=float)
+    return SimulationBand(
+        mean=float(values.mean()),
+        p25=float(np.percentile(values, 25)),
+        p75=float(np.percentile(values, 75)),
+    )

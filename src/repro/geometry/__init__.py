@@ -1,0 +1,37 @@
+"""Planar geometry substrate.
+
+Provides the primitives the topology layer needs to turn PoI placements into
+travel times and pass-by coverage times: distances, point-to-segment
+projections, and segment-disc intersections (the chord of a straight path
+that lies inside a PoI's sensing disc).
+"""
+
+from repro.geometry.points import (
+    Point,
+    distance,
+    interpolate,
+    as_point,
+)
+from repro.geometry.segments import (
+    Segment,
+    point_segment_distance,
+    project_onto_segment,
+)
+from repro.geometry.coverage import (
+    chord_through_disc,
+    coverage_fraction,
+    covers_point,
+)
+
+__all__ = [
+    "Point",
+    "distance",
+    "interpolate",
+    "as_point",
+    "Segment",
+    "point_segment_distance",
+    "project_onto_segment",
+    "chord_through_disc",
+    "coverage_fraction",
+    "covers_point",
+]

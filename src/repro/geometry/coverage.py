@@ -1,0 +1,101 @@
+"""Coverage geometry: how long a straight path stays within sensing range.
+
+The paper's physical model (Section III) lets the sensor cover a PoI ``i``
+whenever the sensor is within sensing range ``r`` of ``i``, including while
+*traveling* between two other PoIs.  For a straight-line path this reduces to
+intersecting the path segment with the disc of radius ``r`` centered at the
+PoI; the length of the resulting chord divided by the travel speed is the
+pass-by coverage time ``T_{jk,i}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.geometry.points import PointLike, as_point, distance
+from repro.geometry.segments import (
+    Segment,
+    line_point_distance,
+    point_segment_distance,
+    unclamped_projection,
+)
+
+
+def covers_point(sensor: PointLike, target: PointLike, radius: float) -> bool:
+    """Whether a sensor at ``sensor`` covers ``target`` with range ``radius``."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    return distance(sensor, target) <= radius
+
+
+def chord_through_disc(
+    segment: Segment, center: PointLike, radius: float
+) -> Optional[Tuple[float, float]]:
+    """Parameter interval of ``segment`` lying inside the disc, or ``None``.
+
+    Returns ``(t_in, t_out)`` with ``0 <= t_in <= t_out <= 1`` such that the
+    sub-segment between those parameters is exactly the part of the segment
+    within distance ``radius`` of ``center``.  Returns ``None`` when the
+    segment stays outside the disc, or when the intersection is a single
+    tangent point (zero coverage time).
+
+    A degenerate (zero-length) segment returns ``(0.0, 1.0)`` if its point
+    lies inside the disc: the "path" is the point itself.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    center = as_point(center)
+    length = segment.length()
+    if length <= 1e-12:
+        if distance(segment.start, center) <= radius:
+            return (0.0, 1.0)
+        return None
+    if point_segment_distance(center, segment) > radius:
+        return None
+    # Closest approach of the infinite line, then half-chord length via
+    # Pythagoras in the parameter domain of the segment.
+    d_line = line_point_distance(center, segment)
+    if d_line > radius:
+        # The segment's closest point is an endpoint and is outside.
+        return None
+    t_closest = unclamped_projection(center, segment)
+    half_chord = math.sqrt(max(radius * radius - d_line * d_line, 0.0)) / length
+    t_in = max(0.0, t_closest - half_chord)
+    t_out = min(1.0, t_closest + half_chord)
+    if t_out <= t_in:
+        return None
+    return (t_in, t_out)
+
+
+def coverage_fraction(
+    segment: Segment, center: PointLike, radius: float
+) -> float:
+    """Fraction of ``segment`` that lies within ``radius`` of ``center``.
+
+    The travel-time a sensor moving at constant speed spends covering the
+    PoI is this fraction times the total travel time of the leg.
+    """
+    chord = chord_through_disc(segment, center, radius)
+    if chord is None:
+        return 0.0
+    return chord[1] - chord[0]
+
+
+def passes_through(
+    segment: Segment,
+    center: PointLike,
+    radius: float,
+    endpoint_margin: float = 1e-9,
+) -> bool:
+    """Whether the path passes through the disc strictly between endpoints.
+
+    "Passing by" in the paper means the PoI is covered mid-travel even
+    though it is neither the origin nor the destination of the transition.
+    Endpoint grazes (coverage only at parameter 0 or 1) do not count.
+    """
+    chord = chord_through_disc(segment, center, radius)
+    if chord is None:
+        return False
+    t_in, t_out = chord
+    return t_out > endpoint_margin and t_in < 1.0 - endpoint_margin

@@ -1,0 +1,74 @@
+"""Immutable 2-D points and elementary vector operations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the plane, in meters."""
+
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise ValueError(f"coordinates must be finite, got {self}")
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Point") -> float:
+        """Inner product with ``other`` viewed as a vector."""
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        """Euclidean length of ``self`` viewed as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+PointLike = Union[Point, Tuple[float, float], Iterable[float]]
+
+
+def as_point(value: PointLike) -> Point:
+    """Coerce a ``Point`` or coordinate pair into a :class:`Point`."""
+    if isinstance(value, Point):
+        return value
+    coords = tuple(float(c) for c in value)
+    if len(coords) != 2:
+        raise ValueError(f"expected 2 coordinates, got {len(coords)}")
+    return Point(coords[0], coords[1])
+
+
+def distance(a: PointLike, b: PointLike) -> float:
+    """Euclidean distance between two points."""
+    pa, pb = as_point(a), as_point(b)
+    return math.hypot(pa.x - pb.x, pa.y - pb.y)
+
+
+def interpolate(a: PointLike, b: PointLike, fraction: float) -> Point:
+    """Point at ``fraction`` of the way from ``a`` to ``b``.
+
+    ``fraction`` is not clamped: values outside ``[0, 1]`` extrapolate along
+    the line, which is occasionally useful in tests.
+    """
+    pa, pb = as_point(a), as_point(b)
+    return Point(
+        pa.x + (pb.x - pa.x) * fraction,
+        pa.y + (pb.y - pa.y) * fraction,
+    )

@@ -1,0 +1,98 @@
+"""Line segments and point-segment projections."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.points import Point, PointLike, as_point, distance
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed straight-line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return distance(self.start, self.end)
+
+    def is_degenerate(self, atol: float = 1e-12) -> bool:
+        """Whether start and end coincide (a zero-length segment)."""
+        return self.length() <= atol
+
+    def point_at(self, fraction: float) -> Point:
+        """Point at parameter ``fraction`` in ``[0, 1]`` along the segment."""
+        return Point(
+            self.start.x + (self.end.x - self.start.x) * fraction,
+            self.start.y + (self.end.y - self.start.y) * fraction,
+        )
+
+
+def make_segment(start: PointLike, end: PointLike) -> Segment:
+    """Build a :class:`Segment` from point-like endpoints."""
+    return Segment(as_point(start), as_point(end))
+
+
+def project_onto_segment(point: PointLike, segment: Segment) -> float:
+    """Parameter ``t`` in ``[0, 1]`` of the closest segment point to ``point``.
+
+    ``t = 0`` corresponds to ``segment.start`` and ``t = 1`` to
+    ``segment.end``.  A degenerate segment projects everything to ``t = 0``.
+    """
+    p = as_point(point)
+    direction = segment.end - segment.start
+    denom = direction.dot(direction)
+    if denom <= 0.0:
+        return 0.0
+    t = (p - segment.start).dot(direction) / denom
+    return min(1.0, max(0.0, t))
+
+
+def point_segment_distance(point: PointLike, segment: Segment) -> float:
+    """Shortest Euclidean distance from ``point`` to ``segment``."""
+    t = project_onto_segment(point, segment)
+    closest = segment.point_at(t)
+    return distance(point, closest)
+
+
+def unclamped_projection(point: PointLike, segment: Segment) -> float:
+    """Signed projection parameter of ``point`` on the segment's line.
+
+    Unlike :func:`project_onto_segment` the value is not clamped to
+    ``[0, 1]``; it is the parameter on the infinite line through the segment,
+    needed by the chord computation in :mod:`repro.geometry.coverage`.
+    Raises on a degenerate segment, because its line is undefined.
+    """
+    p = as_point(point)
+    direction = segment.end - segment.start
+    denom = direction.dot(direction)
+    if denom <= 0.0:
+        raise ValueError("projection line undefined for degenerate segment")
+    return (p - segment.start).dot(direction) / denom
+
+
+def line_point_distance(point: PointLike, segment: Segment) -> float:
+    """Distance from ``point`` to the infinite line through ``segment``."""
+    p = as_point(point)
+    direction = segment.end - segment.start
+    length = direction.norm()
+    if length <= 0.0:
+        raise ValueError("line undefined for degenerate segment")
+    cross = (
+        direction.x * (p.y - segment.start.y)
+        - direction.y * (p.x - segment.start.x)
+    )
+    return abs(cross) / length
+
+
+def segments_almost_equal(a: Segment, b: Segment, atol: float = 1e-9) -> bool:
+    """Whether two segments share endpoints within ``atol`` (same direction)."""
+    return (
+        math.isclose(a.start.x, b.start.x, abs_tol=atol)
+        and math.isclose(a.start.y, b.start.y, abs_tol=atol)
+        and math.isclose(a.end.x, b.end.x, abs_tol=atol)
+        and math.isclose(a.end.y, b.end.y, abs_tol=atol)
+    )

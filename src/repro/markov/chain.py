@@ -1,0 +1,119 @@
+"""The :class:`MarkovChain` facade.
+
+Bundles a validated ergodic transition matrix with lazily computed, cached
+derived quantities (stationary distribution, fundamental matrix, group
+inverse, first-passage times, entropy rate).  Instances are immutable;
+moving to a new matrix returns a new instance, which is exactly the access
+pattern of the steepest-descent loop (one chain state per iterate).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.markov.entropy import entropy_rate
+from repro.markov.ergodicity import require_ergodic
+from repro.markov.fundamental import fundamental_matrix
+from repro.markov.group_inverse import group_inverse
+from repro.markov.passage import first_passage_times
+from repro.markov.sampling import sample_path
+from repro.markov.stationary import stationary_via_linear_solve
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_square
+
+
+class MarkovChain:
+    """An ergodic finite Markov chain with cached derived matrices.
+
+    Parameters
+    ----------
+    matrix:
+        Row-stochastic, irreducible, aperiodic transition matrix.
+    validate:
+        Set ``False`` to skip the ergodicity check when the caller has
+        already validated the matrix (hot loops); shape and stochasticity
+        are still implicitly assumed.
+    """
+
+    def __init__(self, matrix: np.ndarray, validate: bool = True) -> None:
+        matrix = check_square("matrix", matrix)
+        if validate:
+            require_ergodic(matrix)
+        self._matrix = matrix.copy()
+        self._matrix.setflags(write=False)
+        self._pi: Optional[np.ndarray] = None
+        self._z: Optional[np.ndarray] = None
+        self._r: Optional[np.ndarray] = None
+        self._a_sharp: Optional[np.ndarray] = None
+
+    # ----------------------------------------------------------------- #
+
+    @property
+    def size(self) -> int:
+        """Number of states."""
+        return self._matrix.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The transition matrix (read-only view)."""
+        return self._matrix
+
+    @property
+    def stationary(self) -> np.ndarray:
+        """Stationary distribution ``pi`` (cached)."""
+        if self._pi is None:
+            self._pi = stationary_via_linear_solve(self._matrix)
+            self._pi.setflags(write=False)
+        return self._pi
+
+    @property
+    def fundamental(self) -> np.ndarray:
+        """Fundamental matrix ``Z = (I - P + W)^{-1}`` (cached)."""
+        if self._z is None:
+            self._z = fundamental_matrix(self._matrix, self.stationary)
+            self._z.setflags(write=False)
+        return self._z
+
+    @property
+    def group_inverse(self) -> np.ndarray:
+        """Group inverse ``A#`` of ``I - P`` (cached)."""
+        if self._a_sharp is None:
+            self._a_sharp = group_inverse(self._matrix)
+            self._a_sharp.setflags(write=False)
+        return self._a_sharp
+
+    @property
+    def first_passage(self) -> np.ndarray:
+        """Expected first-passage times ``R`` in transitions (cached)."""
+        if self._r is None:
+            self._r = first_passage_times(
+                self._matrix, self.fundamental, self.stationary
+            )
+            self._r.setflags(write=False)
+        return self._r
+
+    @property
+    def entropy_rate(self) -> float:
+        """Entropy rate ``H`` in nats."""
+        return entropy_rate(self._matrix, self.stationary)
+
+    # ----------------------------------------------------------------- #
+
+    def with_matrix(self, matrix: np.ndarray, validate: bool = True):
+        """Return a new chain for ``matrix`` (caches are not shared)."""
+        return MarkovChain(matrix, validate=validate)
+
+    def sample(
+        self,
+        steps: int,
+        start: Optional[int] = None,
+        seed: RandomState = None,
+    ) -> np.ndarray:
+        """Sample a path of ``steps`` transitions (see
+        :func:`repro.markov.sampling.sample_path`)."""
+        return sample_path(self._matrix, steps, start=start, seed=seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MarkovChain(size={self.size})"

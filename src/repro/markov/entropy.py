@@ -1,0 +1,49 @@
+"""Entropy rate of a Markov chain.
+
+Section VII of the paper proposes maximizing the chain's entropy rate
+
+    ``H = - sum_i pi_i sum_j p_ij ln p_ij``
+
+to make the sensor's schedule unpredictable to smart adversaries.  The
+entropy rate is measured in nats and satisfies ``0 <= H <= ln M``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.markov.stationary import stationary_via_linear_solve
+from repro.utils.validation import check_square
+
+
+def row_entropies(matrix: np.ndarray) -> np.ndarray:
+    """Shannon entropy of each row, in nats, with ``0 ln 0 = 0``."""
+    matrix = check_square("matrix", matrix)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(matrix > 0.0, matrix * np.log(matrix), 0.0)
+    return -terms.sum(axis=1)
+
+
+def entropy_rate(
+    matrix: np.ndarray, pi: Optional[np.ndarray] = None
+) -> float:
+    """Entropy rate ``H`` of the stationary chain, in nats."""
+    matrix = check_square("matrix", matrix)
+    if pi is None:
+        pi = stationary_via_linear_solve(matrix)
+    else:
+        pi = np.asarray(pi, dtype=float)
+        if pi.shape != (matrix.shape[0],):
+            raise ValueError(
+                f"pi must have shape ({matrix.shape[0]},), got {pi.shape}"
+            )
+    return float(pi @ row_entropies(matrix))
+
+
+def max_entropy_rate(size: int) -> float:
+    """Upper bound ``ln M`` attained by the uniform chain on ``M`` states."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    return float(np.log(size))

@@ -1,0 +1,125 @@
+"""Irreducibility, aperiodicity, and ergodicity checks.
+
+The paper assumes throughout that the scheduling chain is ergodic
+(irreducible and aperiodic on a finite state space), which guarantees a
+unique stationary distribution and finite first-passage times.  These
+checks guard the public API and are also used by tests to reject malformed
+transition matrices early, with actionable errors.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import List
+
+import numpy as np
+
+from repro.utils.linalg import is_row_stochastic
+from repro.utils.validation import check_square
+
+#: Entries at or below this threshold are treated as structurally zero when
+#: building the transition graph.
+EDGE_TOLERANCE = 1e-15
+
+
+def transition_graph(matrix: np.ndarray, tol: float = EDGE_TOLERANCE):
+    """Adjacency lists of the directed graph induced by positive entries."""
+    matrix = check_square("matrix", matrix)
+    count = matrix.shape[0]
+    return [
+        [j for j in range(count) if matrix[i, j] > tol] for i in range(count)
+    ]
+
+
+def _reachable_from(adjacency: List[List[int]], start: int) -> np.ndarray:
+    count = len(adjacency)
+    seen = np.zeros(count, dtype=bool)
+    stack = [start]
+    seen[start] = True
+    while stack:
+        node = stack.pop()
+        for neighbor in adjacency[node]:
+            if not seen[neighbor]:
+                seen[neighbor] = True
+                stack.append(neighbor)
+    return seen
+
+
+def is_irreducible(matrix: np.ndarray, tol: float = EDGE_TOLERANCE) -> bool:
+    """Whether every state communicates with every other state.
+
+    Checked by forward reachability from state 0 in both the graph and its
+    transpose, which is equivalent to strong connectivity.
+    """
+    adjacency = transition_graph(matrix, tol)
+    count = len(adjacency)
+    if count == 0:
+        return False
+    if not _reachable_from(adjacency, 0).all():
+        return False
+    reverse: List[List[int]] = [[] for _ in range(count)]
+    for node, neighbors in enumerate(adjacency):
+        for neighbor in neighbors:
+            reverse[neighbor].append(node)
+    return bool(_reachable_from(reverse, 0).all())
+
+
+def period_of_state(
+    matrix: np.ndarray, state: int, tol: float = EDGE_TOLERANCE
+) -> int:
+    """Period of ``state``: gcd of lengths of cycles through it.
+
+    Computed by BFS level labeling: for every edge ``u -> v`` inside the
+    strongly connected component, ``level[u] + 1 - level[v]`` is a multiple
+    of the period, and the gcd of all such values *is* the period for an
+    irreducible chain.
+    """
+    adjacency = transition_graph(matrix, tol)
+    count = len(adjacency)
+    if not 0 <= state < count:
+        raise ValueError(f"state must lie in [0, {count}), got {state}")
+    level = np.full(count, -1, dtype=int)
+    level[state] = 0
+    queue = [state]
+    period = 0
+    while queue:
+        node = queue.pop(0)
+        for neighbor in adjacency[node]:
+            if level[neighbor] < 0:
+                level[neighbor] = level[node] + 1
+                queue.append(neighbor)
+            else:
+                period = gcd(period, level[node] + 1 - level[neighbor])
+    return abs(period) if period != 0 else 0
+
+
+def is_aperiodic(matrix: np.ndarray, tol: float = EDGE_TOLERANCE) -> bool:
+    """Whether the chain has period one (requires irreducibility to be
+    meaningful; a reducible chain returns the period of state 0's class)."""
+    return period_of_state(matrix, 0, tol) == 1
+
+
+def is_ergodic(matrix: np.ndarray, tol: float = EDGE_TOLERANCE) -> bool:
+    """Whether the chain is irreducible and aperiodic."""
+    return is_irreducible(matrix, tol) and is_aperiodic(matrix, tol)
+
+
+def require_ergodic(matrix: np.ndarray, tol: float = EDGE_TOLERANCE) -> None:
+    """Raise ``ValueError`` with a diagnosis when the chain is not ergodic."""
+    matrix = check_square("matrix", matrix)
+    if not is_row_stochastic(matrix):
+        raise ValueError(
+            "matrix is not row-stochastic: rows must be probability "
+            "distributions"
+        )
+    if not is_irreducible(matrix, tol):
+        raise ValueError(
+            "transition matrix is reducible: some states cannot reach "
+            "each other, so no unique stationary distribution exists"
+        )
+    if not is_aperiodic(matrix, tol):
+        raise ValueError(
+            "transition matrix is periodic: time averages exist but the "
+            "chain does not converge in distribution; the paper's model "
+            "assumes aperiodicity"
+        )

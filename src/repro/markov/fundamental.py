@@ -1,0 +1,55 @@
+"""The fundamental matrix ``Z`` of an ergodic chain.
+
+``Z = (I - P + W)^{-1}`` (Kemeny-Snell), related to the group inverse by
+the paper's Eq. (7): ``Z = I + P A#``.  ``Z`` is the object actually used
+in the numerical computation of first-passage times (Eq. 8) and of the
+Schweitzer perturbation formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.markov.stationary import stationary_via_linear_solve
+from repro.utils.validation import check_square
+
+
+def fundamental_matrix(
+    matrix: np.ndarray, pi: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Fundamental matrix ``Z = (I - P + W)^{-1}``.
+
+    ``pi`` may be supplied to avoid recomputing the stationary
+    distribution; it is trusted as-is (callers own its accuracy).
+    """
+    matrix = check_square("matrix", matrix)
+    if pi is None:
+        pi = stationary_via_linear_solve(matrix)
+    else:
+        pi = np.asarray(pi, dtype=float)
+        if pi.shape != (matrix.shape[0],):
+            raise ValueError(
+                f"pi must have shape ({matrix.shape[0]},), got {pi.shape}"
+            )
+    w = np.tile(pi, (matrix.shape[0], 1))
+    return np.linalg.inv(np.eye(matrix.shape[0]) - matrix + w)
+
+
+def fundamental_and_stationary(
+    matrix: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(Z, pi)`` computed consistently in one call."""
+    matrix = check_square("matrix", matrix)
+    pi = stationary_via_linear_solve(matrix)
+    return fundamental_matrix(matrix, pi), pi
+
+
+def fundamental_from_group_inverse(
+    matrix: np.ndarray, a_sharp: np.ndarray
+) -> np.ndarray:
+    """Eq. (7): ``Z = I + P A#`` — used by tests to cross-check solvers."""
+    matrix = check_square("matrix", matrix)
+    a_sharp = check_square("a_sharp", a_sharp)
+    return np.eye(matrix.shape[0]) + matrix @ a_sharp

@@ -1,0 +1,88 @@
+"""Expected first-passage times.
+
+Paper Eq. (6)/(8): ``R = (I - Z + J Z_dg) D`` with ``D = diag(1/pi)``,
+i.e. component-wise
+
+    ``R_ij = (delta_ij - z_ij + z_jj) / pi_j``.
+
+``R_ij`` is the expected number of transitions to reach state ``j``
+starting from state ``i``, with the convention ``R_ii = 1 / pi_i`` (the
+expected *return* time, Kac's formula).  Note the denominator is ``pi_j``
+(the destination), matching the matrix form; the paper's component-wise
+restatement prints ``pi_i``, an evident typo (see DESIGN.md section 2).
+
+The unit of ``R`` is *transitions*, consistent with the paper's
+simplifying assumption that every transition takes one time unit when
+computing exposure times (Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.markov.fundamental import fundamental_and_stationary
+from repro.utils.validation import check_square
+
+
+def first_passage_times(
+    matrix: np.ndarray,
+    z: Optional[np.ndarray] = None,
+    pi: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """First-passage-time matrix via the fundamental matrix (Eq. 8).
+
+    ``z`` and ``pi`` may be passed together to reuse cached values; passing
+    only one of them is rejected to avoid mixing inconsistent inputs.
+    """
+    matrix = check_square("matrix", matrix)
+    if (z is None) != (pi is None):
+        raise ValueError("pass both z and pi, or neither")
+    if z is None:
+        z, pi = fundamental_and_stationary(matrix)
+    else:
+        z = check_square("z", z)
+        pi = np.asarray(pi, dtype=float)
+    count = matrix.shape[0]
+    if np.any(pi <= 0):
+        raise ValueError(
+            "stationary distribution has non-positive entries; "
+            "first-passage times are infinite for unreachable states"
+        )
+    z_diag = np.diag(z)
+    # R_ij = (delta_ij - z_ij + z_jj) / pi_j, vectorized over (i, j).
+    numerator = np.eye(count) - z + z_diag[None, :]
+    return numerator / pi[None, :]
+
+
+def first_passage_times_by_solve(matrix: np.ndarray) -> np.ndarray:
+    """First-passage times by first-step analysis (independent method).
+
+    For each destination ``j`` solve the linear system
+
+        ``R_ij = 1 + sum_{k != j} p_ik R_kj``  for all ``i != j``,
+
+    then set the return time ``R_jj = 1 + sum_{k != j} p_jk R_kj``.  Used by
+    tests to validate the fundamental-matrix route; O(M^4), fine for the
+    small chains of the paper.
+    """
+    matrix = check_square("matrix", matrix)
+    count = matrix.shape[0]
+    result = np.zeros((count, count))
+    ones = np.ones(count - 1)
+    for j in range(count):
+        keep = [k for k in range(count) if k != j]
+        sub = matrix[np.ix_(keep, keep)]
+        system = np.eye(count - 1) - sub
+        try:
+            hitting = np.linalg.solve(system, ones)
+        except np.linalg.LinAlgError as error:
+            raise ValueError(
+                f"first-passage system for destination {j} is singular; "
+                "the chain is likely not irreducible"
+            ) from error
+        for row_index, i in enumerate(keep):
+            result[i, j] = hitting[row_index]
+        result[j, j] = 1.0 + float(matrix[j, keep] @ hitting)
+    return result

@@ -1,0 +1,80 @@
+"""Schweitzer (1968) perturbation formulas for ergodic chains.
+
+For a differentiable path of transition matrices ``P(t)`` with derivative
+``dP`` (row sums zero, so ``P(t)`` stays stochastic):
+
+* stationary distribution:  ``dpi = pi dP Z``            (paper Sec. IV)
+* fundamental matrix:       ``dZ = Z dP Z - W dP Z^2``
+
+These are the ingredients of the total cost derivative ``[D_P U]``
+(Eq. 10).  The functions below compute both the directional derivatives
+(given ``dP``) and the full Jacobian "operators" needed to assemble
+``[D_P U]`` without materializing an ``M^2 x M^2`` Jacobian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_square
+
+
+def stationary_derivative(
+    pi: np.ndarray, z: np.ndarray, dp: np.ndarray
+) -> np.ndarray:
+    """Directional derivative ``dpi = pi dP Z`` for perturbation ``dP``."""
+    pi = np.asarray(pi, dtype=float)
+    z = check_square("z", z)
+    dp = check_square("dp", dp)
+    return pi @ dp @ z
+
+
+def fundamental_derivative(
+    pi: np.ndarray, z: np.ndarray, dp: np.ndarray
+) -> np.ndarray:
+    """Directional derivative ``dZ = Z dP Z - W dP Z^2``."""
+    pi = np.asarray(pi, dtype=float)
+    z = check_square("z", z)
+    dp = check_square("dp", dp)
+    w = np.tile(pi, (z.shape[0], 1))
+    return z @ dp @ z - w @ dp @ (z @ z)
+
+
+def adjoint_stationary_term(
+    pi: np.ndarray, z: np.ndarray, grad_pi: np.ndarray
+) -> np.ndarray:
+    """Adjoint of ``dP -> dpi`` applied to ``grad_pi``.
+
+    Returns the matrix ``G`` with ``G_kl = pi_k (Z grad_pi)_l`` so that for
+    any perturbation ``dP``:
+
+        ``<grad_pi, dpi> = <G, dP>``  (Frobenius inner products).
+
+    This is the first bracket of Eq. (10).
+    """
+    pi = np.asarray(pi, dtype=float)
+    z = check_square("z", z)
+    grad_pi = np.asarray(grad_pi, dtype=float)
+    return np.outer(pi, z @ grad_pi)
+
+
+def adjoint_fundamental_term(
+    pi: np.ndarray, z: np.ndarray, grad_z: np.ndarray
+) -> np.ndarray:
+    """Adjoint of ``dP -> dZ`` applied to ``grad_z``.
+
+    Returns ``G`` with ``<grad_z, dZ> = <G, dP>`` for every ``dP``:
+
+        ``G_kl = sum_ij grad_z_ij (z_ik z_lj - pi_k (Z^2)_lj)
+               = (Z^T grad_z Z^T)_kl - pi_k (Z^2 grad_z^T 1)_l``
+
+    — the second bracket of Eq. (10), assembled with three matrix products
+    instead of a quadruple loop.
+    """
+    pi = np.asarray(pi, dtype=float)
+    z = check_square("z", z)
+    grad_z = check_square("grad_z", grad_z)
+    first = z.T @ grad_z @ z.T
+    column_sums = grad_z.sum(axis=0)  # s_j = sum_i grad_z_ij
+    second = np.outer(pi, (z @ z) @ column_sums)
+    return first - second

@@ -1,0 +1,79 @@
+"""Trajectory sampling from a transition matrix.
+
+Used by the sensor simulator (which adds the physical timing on top) and by
+tests that verify ergodic averages against analytic quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.linalg import is_row_stochastic
+from repro.utils.validation import check_index, check_square
+
+
+def sample_path(
+    matrix: np.ndarray,
+    steps: int,
+    start: Optional[int] = None,
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Sample a state path of length ``steps + 1`` (including the start).
+
+    ``start`` defaults to a uniformly random state.  The coin toss at each
+    decision point — the paper's constant-time stateless scheduling
+    operation — is an inverse-CDF draw against the cumulative row.
+    """
+    matrix = check_square("matrix", matrix)
+    if not is_row_stochastic(matrix):
+        raise ValueError("matrix must be row-stochastic")
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    count = matrix.shape[0]
+    rng = as_generator(seed)
+    if start is None:
+        start = int(rng.integers(count))
+    else:
+        start = check_index("start", start, count)
+    cumulative = np.cumsum(matrix, axis=1)
+    # Guard against rows summing to 1 - 1e-16: force the last bin to 1.
+    cumulative[:, -1] = 1.0
+    path = np.empty(steps + 1, dtype=np.int64)
+    path[0] = start
+    draws = rng.random(steps)
+    state = start
+    for n in range(steps):
+        state = int(np.searchsorted(cumulative[state], draws[n], side="right"))
+        path[n + 1] = state
+    return path
+
+
+def empirical_transition_matrix(path: np.ndarray, size: int) -> np.ndarray:
+    """Maximum-likelihood transition matrix from a sampled path.
+
+    Rows never visited are left uniform so the estimate stays stochastic.
+    Used by tests to confirm sampling follows the requested matrix.
+    """
+    path = np.asarray(path, dtype=np.int64)
+    if path.ndim != 1 or path.size < 2:
+        raise ValueError("path must be 1-D with at least 2 states")
+    if path.min() < 0 or path.max() >= size:
+        raise ValueError("path contains states outside [0, size)")
+    counts = np.zeros((size, size))
+    np.add.at(counts, (path[:-1], path[1:]), 1.0)
+    row_sums = counts.sum(axis=1, keepdims=True)
+    estimate = np.where(row_sums > 0, counts / np.maximum(row_sums, 1.0),
+                        1.0 / size)
+    return estimate
+
+
+def occupation_frequencies(path: np.ndarray, size: int) -> np.ndarray:
+    """Fraction of time steps spent in each state along ``path``."""
+    path = np.asarray(path, dtype=np.int64)
+    if path.ndim != 1 or path.size == 0:
+        raise ValueError("path must be a non-empty 1-D array")
+    counts = np.bincount(path, minlength=size).astype(float)
+    return counts / path.size

@@ -1,0 +1,235 @@
+"""Team simulation: ``K`` independent sensors on one topology.
+
+Each sensor runs the same physical process as the single-sensor engine —
+straight-line travel, pauses, pass-by chords — with its own RNG stream
+and its own transition matrix.  The team's coverage of a PoI is the
+*union* of the sensors' in-range intervals on a shared wall-clock; team
+exposure segments are the gaps of that union.
+
+Sensors are simulated to a common physical ``horizon`` (seconds), not a
+common transition count: different matrices move at different speeds,
+and the union only makes sense on an aligned clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.coverage import chord_through_disc
+from repro.geometry.segments import Segment
+from repro.simulation.events import IntervalAccumulator
+from repro.topology.model import Topology
+from repro.utils.linalg import is_row_stochastic
+from repro.utils.rng import RandomState, spawn_generators
+from repro.utils.validation import check_square
+
+
+@dataclass(frozen=True)
+class TeamSimulationResult:
+    """Measured behavior of a sensor team.
+
+    All times are physical seconds on the shared clock.
+
+    Attributes
+    ----------
+    sensors:
+        Team size ``K``.
+    horizon:
+        Length of the measured window.
+    coverage_shares:
+        Per-PoI fraction of the window covered by *at least one* sensor.
+    per_sensor_shares:
+        ``(K, M)`` array of each sensor's individual coverage fractions.
+    exposure_mean:
+        Per-PoI mean length of maximal uncovered intervals (``nan`` for a
+        PoI with no completed gap).
+    exposure_counts:
+        Per-PoI number of completed uncovered intervals.
+    transitions:
+        Per-sensor number of transitions completed within the horizon.
+    """
+
+    sensors: int
+    horizon: float
+    coverage_shares: np.ndarray
+    per_sensor_shares: np.ndarray
+    exposure_mean: np.ndarray
+    exposure_counts: np.ndarray
+    transitions: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of PoIs."""
+        return self.coverage_shares.shape[0]
+
+
+def _sensor_intervals(
+    topology: Topology,
+    matrix: np.ndarray,
+    horizon: float,
+    rng: np.random.Generator,
+    start: Optional[int],
+) -> tuple:
+    """Simulate one sensor; return (per-PoI interval lists, transitions).
+
+    Intervals are clipped to ``[0, horizon]`` and emitted in start order.
+    """
+    size = topology.size
+    cumulative = np.cumsum(matrix, axis=1)
+    cumulative[:, -1] = 1.0
+    positions = topology.positions
+    travel_times = topology.travel_times
+    pauses = topology.pause_times
+    radius = topology.sensing_radius
+
+    chords = {}
+    for origin in range(size):
+        for destination in range(size):
+            if origin == destination:
+                continue
+            segment = Segment(positions[origin], positions[destination])
+            legs = []
+            for poi in range(size):
+                chord = chord_through_disc(segment, positions[poi], radius)
+                if chord is not None:
+                    legs.append((poi, chord[0], chord[1]))
+            chords[origin, destination] = legs
+
+    intervals: List[List[tuple]] = [[] for _ in range(size)]
+    state = int(rng.integers(size)) if start is None else start
+    clock = 0.0
+    transitions = 0
+    while clock < horizon:
+        origin = state
+        destination = int(
+            np.searchsorted(cumulative[origin], rng.random(), side="right")
+        )
+        duration = travel_times[origin, destination]
+        if origin == destination:
+            intervals[origin].append((clock, clock + duration))
+        else:
+            travel = duration - pauses[destination]
+            arrival = clock + travel
+            for poi, t_in, t_out in chords[origin, destination]:
+                intervals[poi].append(
+                    (clock + t_in * travel, clock + t_out * travel)
+                )
+            intervals[destination].append((arrival, arrival + duration
+                                           - travel))
+        clock += duration
+        state = destination
+        transitions += 1
+    # Clip to the horizon.
+    clipped: List[List[tuple]] = [[] for _ in range(size)]
+    for poi in range(size):
+        for lo, hi in intervals[poi]:
+            if lo >= horizon:
+                continue
+            clipped[poi].append((lo, min(hi, horizon)))
+    return clipped, transitions
+
+
+def simulate_team(
+    topology: Topology,
+    matrices: Sequence[np.ndarray],
+    horizon: float,
+    seed: RandomState = None,
+    starts: Optional[Sequence[int]] = None,
+) -> TeamSimulationResult:
+    """Simulate a team of sensors for ``horizon`` seconds.
+
+    Parameters
+    ----------
+    topology:
+        The shared PoI layout.
+    matrices:
+        One row-stochastic matrix per sensor.  Pass the same matrix ``K``
+        times for a homogeneous team.
+    horizon:
+        Physical length of the measured window, seconds.
+    seed:
+        Master seed; each sensor gets an independent spawned stream.
+    starts:
+        Optional per-sensor start PoIs (defaults to independent uniform
+        draws).
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    matrices = [check_square(f"matrices[{k}]", m)
+                for k, m in enumerate(matrices)]
+    if not matrices:
+        raise ValueError("at least one sensor matrix is required")
+    size = topology.size
+    for index, matrix in enumerate(matrices):
+        if matrix.shape[0] != size:
+            raise ValueError(
+                f"matrices[{index}] has size {matrix.shape[0]}, topology "
+                f"has {size} PoIs"
+            )
+        if not is_row_stochastic(matrix):
+            raise ValueError(f"matrices[{index}] is not row-stochastic")
+    if starts is not None and len(starts) != len(matrices):
+        raise ValueError(
+            f"starts has length {len(starts)}, expected {len(matrices)}"
+        )
+
+    streams = spawn_generators(seed, len(matrices))
+    per_sensor_intervals = []
+    transitions = np.zeros(len(matrices), dtype=np.int64)
+    per_sensor_shares = np.zeros((len(matrices), size))
+    for index, (matrix, rng) in enumerate(zip(matrices, streams)):
+        start = None if starts is None else int(starts[index])
+        intervals, count = _sensor_intervals(
+            topology, matrix, horizon, rng, start
+        )
+        per_sensor_intervals.append(intervals)
+        transitions[index] = count
+        for poi in range(size):
+            per_sensor_shares[index, poi] = _union_length(
+                intervals[poi]
+            ) / horizon
+
+    coverage = np.zeros(size)
+    exposure_mean = np.full(size, np.nan)
+    exposure_counts = np.zeros(size, dtype=np.int64)
+    for poi in range(size):
+        merged = sorted(
+            (iv for sensor in per_sensor_intervals for iv in sensor[poi]),
+            key=lambda pair: pair[0],
+        )
+        accumulator = IntervalAccumulator(origin=0.0)
+        for lo, hi in merged:
+            accumulator.add(lo, hi)
+        coverage[poi] = accumulator.covered_time / horizon
+        exposure_counts[poi] = accumulator.gap_count
+        exposure_mean[poi] = accumulator.mean_gap()
+
+    return TeamSimulationResult(
+        sensors=len(matrices),
+        horizon=float(horizon),
+        coverage_shares=coverage,
+        per_sensor_shares=per_sensor_shares,
+        exposure_mean=exposure_mean,
+        exposure_counts=exposure_counts,
+        transitions=transitions,
+    )
+
+
+def _union_length(intervals: Sequence[tuple]) -> float:
+    """Total length of the union of (already generated) intervals."""
+    total = 0.0
+    current_lo = current_hi = None
+    for lo, hi in sorted(intervals, key=lambda pair: pair[0]):
+        if current_hi is None:
+            current_lo, current_hi = lo, hi
+        elif lo <= current_hi:
+            current_hi = max(current_hi, hi)
+        else:
+            total += current_hi - current_lo
+            current_lo, current_hi = lo, hi
+    if current_hi is not None:
+        total += current_hi - current_lo
+    return total

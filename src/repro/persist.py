@@ -1,0 +1,120 @@
+"""Serialization of topologies, matrices, and optimization results.
+
+JSON in, JSON out — the interchange format of the CLI and of anyone
+scripting batch experiments.  Matrices are stored as nested lists; all
+floats survive a round trip exactly (JSON numbers are doubles).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.core.result import OptimizationResult
+from repro.topology.model import Topology
+
+PathLike = Union[str, pathlib.Path]
+
+#: Schema tag written into every file for forward compatibility.
+TOPOLOGY_SCHEMA = "repro/topology/v1"
+MATRIX_SCHEMA = "repro/matrix/v1"
+RESULT_SCHEMA = "repro/result/v1"
+
+
+def topology_to_dict(topology: Topology) -> dict:
+    """Serializable description of a topology."""
+    return {
+        "schema": TOPOLOGY_SCHEMA,
+        "name": topology.name,
+        "positions": [p.as_tuple() for p in topology.positions],
+        "target_shares": topology.target_shares.tolist(),
+        "sensing_radius": topology.sensing_radius,
+        "speed": topology.speed,
+        "pause_times": topology.pause_times.tolist(),
+    }
+
+
+def topology_from_dict(data: dict) -> Topology:
+    """Rebuild a :class:`Topology`; derived matrices are recomputed."""
+    schema = data.get("schema")
+    if schema != TOPOLOGY_SCHEMA:
+        raise ValueError(
+            f"expected schema {TOPOLOGY_SCHEMA!r}, got {schema!r}"
+        )
+    return Topology(
+        positions=[tuple(p) for p in data["positions"]],
+        target_shares=data["target_shares"],
+        sensing_radius=data["sensing_radius"],
+        speed=data.get("speed", 10.0),
+        pause_times=data.get("pause_times", 10.0),
+        name=data.get("name"),
+    )
+
+
+def save_topology(topology: Topology, path: PathLike) -> None:
+    """Write a topology as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(topology_to_dict(topology), indent=2) + "\n"
+    )
+
+
+def load_topology(path: PathLike) -> Topology:
+    """Read a topology written by :func:`save_topology`."""
+    return topology_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def save_matrix(matrix: np.ndarray, path: PathLike) -> None:
+    """Write a transition matrix as JSON."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    payload = {"schema": MATRIX_SCHEMA, "matrix": matrix.tolist()}
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_matrix(path: PathLike) -> np.ndarray:
+    """Read a matrix written by :func:`save_matrix`."""
+    data = json.loads(pathlib.Path(path).read_text())
+    schema = data.get("schema")
+    if schema != MATRIX_SCHEMA:
+        raise ValueError(
+            f"expected schema {MATRIX_SCHEMA!r}, got {schema!r}"
+        )
+    matrix = np.asarray(data["matrix"], dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"stored matrix is not square: {matrix.shape}")
+    return matrix
+
+
+def result_to_dict(result: OptimizationResult) -> dict:
+    """Serializable summary of an optimization result.
+
+    The per-iteration history is reduced to its cost trace (the full
+    record objects are session artifacts, not interchange data).
+    """
+    return {
+        "schema": RESULT_SCHEMA,
+        "u_eps": result.u_eps,
+        "u": result.u,
+        "delta_c": result.delta_c,
+        "e_bar": result.e_bar,
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "stop_reason": result.stop_reason,
+        "best_u_eps": result.best_u_eps,
+        "matrix": np.asarray(result.matrix, dtype=float).tolist(),
+        "best_matrix": np.asarray(
+            result.best_matrix, dtype=float
+        ).tolist(),
+        "cost_trace": result.cost_trace().tolist(),
+    }
+
+
+def save_result(result: OptimizationResult, path: PathLike) -> None:
+    """Write an optimization result summary as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2) + "\n"
+    )

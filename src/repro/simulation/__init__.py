@@ -1,0 +1,29 @@
+"""Continuous-time simulation of the Markov-scheduled mobile sensor.
+
+The simulator drives a sensor over a physical
+:class:`~repro.topology.model.Topology` using a transition matrix computed
+by the optimizer, and measures what the analytic formulas predict: coverage
+shares, the coverage deviation ``Delta C``, and per-PoI exposure times in
+both the paper's transition-count convention and real physical time
+(Section VI-D compares the two).
+"""
+
+from repro.simulation.engine import SimulationOptions, simulate_schedule
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.events import ExposureTracker, IntervalAccumulator
+from repro.simulation.capture import (
+    CaptureResult,
+    capture_probability_approximation,
+    simulate_event_capture,
+)
+
+__all__ = [
+    "SimulationOptions",
+    "SimulationResult",
+    "simulate_schedule",
+    "ExposureTracker",
+    "IntervalAccumulator",
+    "CaptureResult",
+    "simulate_event_capture",
+    "capture_probability_approximation",
+]

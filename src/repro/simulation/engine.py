@@ -1,0 +1,211 @@
+"""The sensor simulation engine.
+
+Drives a mobile sensor over a physical topology according to a transition
+matrix: at each decision point the sensor tosses the constant-time coin
+(row ``p_i.``), travels in a straight line at constant speed to the chosen
+PoI (possibly covering intermediate PoIs en route), and pauses there.
+
+The engine measures everything Section VI-D reports: coverage shares and
+``Delta C`` under the schedule convention, physical coverage shares, and
+exposure segments under both the transition-count and physical-time
+conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.coverage import chord_through_disc
+from repro.geometry.segments import Segment
+from repro.simulation.events import ExposureTracker, IntervalAccumulator
+from repro.simulation.metrics import SimulationResult
+from repro.topology.model import Topology
+from repro.utils.linalg import is_row_stochastic
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_index, check_square
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Simulation knobs.
+
+    ``warmup`` transitions are simulated but excluded from measurement so
+    the embedded chain forgets its start state.  ``record_path`` stores the
+    full state path on the result (memory: 8 bytes/transition).
+    """
+
+    start_state: Optional[int] = None
+    warmup: int = 0
+    record_path: bool = False
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+
+
+def simulate_schedule(
+    topology: Topology,
+    matrix: np.ndarray,
+    transitions: int,
+    seed: RandomState = None,
+    options: Optional[SimulationOptions] = None,
+) -> SimulationResult:
+    """Simulate ``transitions`` Markov transitions of the sensor.
+
+    Parameters
+    ----------
+    topology:
+        The physical PoI layout.
+    matrix:
+        Row-stochastic transition matrix (typically an optimizer output).
+    transitions:
+        Number of measured transitions (after warmup).
+    seed:
+        RNG seed (see :mod:`repro.utils.rng`).
+    options:
+        See :class:`SimulationOptions`.
+    """
+    options = options or SimulationOptions()
+    matrix = check_square("matrix", matrix)
+    size = topology.size
+    if matrix.shape[0] != size:
+        raise ValueError(
+            f"matrix size {matrix.shape[0]} does not match topology size "
+            f"{size}"
+        )
+    if not is_row_stochastic(matrix):
+        raise ValueError("matrix must be row-stochastic")
+    if transitions < 1:
+        raise ValueError(f"transitions must be >= 1, got {transitions}")
+
+    rng = as_generator(seed)
+    if options.start_state is None:
+        state = int(rng.integers(size))
+    else:
+        state = check_index("start_state", options.start_state, size)
+
+    cumulative = np.cumsum(matrix, axis=1)
+    cumulative[:, -1] = 1.0
+    positions = topology.positions
+    travel_times = topology.travel_times
+    passby = topology.passby
+    pauses = topology.pause_times
+    radius = topology.sensing_radius
+    phi = topology.target_shares
+
+    # Precompute, per (origin, destination) leg, the list of
+    # (poi, t_in, t_out) chord fractions — the geometry never changes
+    # between transitions, so this turns the per-transition work into
+    # interval bookkeeping only.
+    chords = {}
+    for origin_index in range(size):
+        for dest_index in range(size):
+            if origin_index == dest_index:
+                continue
+            segment = Segment(
+                positions[origin_index], positions[dest_index]
+            )
+            legs = []
+            for poi in range(size):
+                chord = chord_through_disc(
+                    segment, positions[poi], radius
+                )
+                if chord is not None:
+                    legs.append((poi, chord[0], chord[1]))
+            chords[origin_index, dest_index] = legs
+
+    # -- warmup: advance the chain without measuring ------------------- #
+    for _ in range(options.warmup):
+        state = int(
+            np.searchsorted(cumulative[state], rng.random(), side="right")
+        )
+    start_state = state
+
+    # -- measured run --------------------------------------------------- #
+    clock = 0.0
+    covered_schedule = np.zeros(size)  # sum of T_{jk,i}
+    total_schedule = 0.0  # sum of T_jk
+    visit_counts = np.zeros(size, dtype=np.int64)
+    occupancy = np.zeros(size, dtype=np.int64)
+    accumulators = [IntervalAccumulator(origin=0.0) for _ in range(size)]
+    exposure = ExposureTracker(size, start_state)
+    path = np.empty(transitions + 1, dtype=np.int64) if options.record_path \
+        else None
+    if path is not None:
+        path[0] = state
+    occupancy[state] += 1
+
+    # The sensor begins the measured window already located at
+    # ``start_state``; physically it is covering that PoI until it departs,
+    # which the first transition's interval bookkeeping handles.
+    for step in range(1, transitions + 1):
+        origin = state
+        destination = int(
+            np.searchsorted(cumulative[origin], rng.random(), side="right")
+        )
+
+        duration = travel_times[origin, destination]
+        covered_schedule += passby[origin, destination]
+        total_schedule += duration
+
+        if origin == destination:
+            # Pause in place: continuous coverage of the origin.
+            accumulators[origin].add(clock, clock + duration)
+        else:
+            travel = duration - pauses[destination]
+            arrival = clock + travel
+            for poi, t_in, t_out in chords[origin, destination]:
+                accumulators[poi].add(
+                    clock + t_in * travel, clock + t_out * travel
+                )
+            # Pause at the destination: contiguous with its entry chord.
+            accumulators[destination].add(arrival, arrival + duration
+                                          - travel)
+
+        exposure.record(step, origin, destination)
+        clock += duration
+        state = destination
+        visit_counts[destination] += 1
+        occupancy[destination] += 1
+        if path is not None:
+            path[step] = destination
+
+    # -- assemble metrics ------------------------------------------------ #
+    coverage_shares = covered_schedule / total_schedule
+    physical_shares = np.array(
+        [acc.covered_time for acc in accumulators]
+    ) / clock
+    deviations = (covered_schedule - phi * total_schedule) / transitions
+    delta_c = float(np.sum(deviations**2))
+
+    exposure_transitions = exposure.mean_segments()
+    finite = np.nan_to_num(exposure_transitions, nan=0.0)
+    e_bar_transitions = float(np.sqrt(np.sum(finite**2)))
+
+    exposure_physical = np.array(
+        [acc.mean_gap() for acc in accumulators]
+    )
+    mean_duration = clock / transitions
+    normalized = np.nan_to_num(exposure_physical / mean_duration, nan=0.0)
+    e_bar_physical = float(np.sqrt(np.sum(normalized**2)))
+
+    return SimulationResult(
+        transitions=transitions,
+        total_time=float(clock),
+        coverage_shares=coverage_shares,
+        physical_coverage_shares=physical_shares,
+        delta_c=delta_c,
+        exposure_transitions=exposure_transitions,
+        e_bar_transitions=e_bar_transitions,
+        exposure_physical=exposure_physical,
+        e_bar_physical_normalized=e_bar_physical,
+        mean_transition_duration=float(mean_duration),
+        visit_counts=visit_counts,
+        occupancy=occupancy / occupancy.sum(),
+        start_state=start_state,
+        end_state=state,
+        path=path,
+    )

@@ -1,0 +1,89 @@
+"""Result record of a sensor simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Measured behavior of one simulated coverage schedule.
+
+    Quantities exist in two accounting conventions, mirroring Section
+    VI-D's comparison of simulated against computed values:
+
+    * **Schedule convention** (matches the analytic formulas exactly in
+      expectation): coverage accumulates the tensor entries ``T_{jk,i}``;
+      exposure counts transitions per Eq. (3)'s assumptions.
+    * **Physical convention**: coverage and exposure are measured on the
+      continuous timeline with real pass-by chords, the sensor's own
+      departure/approach ranges, and variable transition durations — the
+      things the analytic simplifications gloss over.
+
+    Attributes
+    ----------
+    transitions:
+        Number of Markov transitions simulated (after warmup).
+    total_time:
+        Physical duration of the measured portion, seconds.
+    coverage_shares:
+        ``C_i(N) / T(N)`` under the schedule convention (Eq. 2 analogue).
+    physical_coverage_shares:
+        Fraction of physical time each PoI was within sensing range.
+    delta_c:
+        ``sum_i [(C_i(N) - Phi_i T(N)) / N]^2`` — the finite-``N``
+        analogue of Eq. (12).
+    exposure_transitions:
+        Per-PoI mean exposure segment length in transitions (Eq. 3
+        analogue); ``nan`` for PoIs never revisited.
+    e_bar_transitions:
+        ``sqrt(sum_i exposure_transitions_i^2)`` (Eq. 13 analogue).
+    exposure_physical:
+        Per-PoI mean physical exposure segment, seconds.
+    e_bar_physical_normalized:
+        ``sqrt(sum_i (exposure_physical_i / mean_transition_duration)^2)``
+        — physical exposure expressed in transition-duration units so it
+        is directly comparable with the analytic ``E-bar``.
+    visit_counts:
+        Number of arrivals per PoI (destination visits, self-loops
+        included).
+    occupancy:
+        Empirical state frequencies of the embedded Markov chain.
+    start_state / end_state:
+        States at the measurement boundaries.
+    path:
+        The sampled state path (only when trace recording was requested).
+    """
+
+    transitions: int
+    total_time: float
+    coverage_shares: np.ndarray
+    physical_coverage_shares: np.ndarray
+    delta_c: float
+    exposure_transitions: np.ndarray
+    e_bar_transitions: float
+    exposure_physical: np.ndarray
+    e_bar_physical_normalized: float
+    mean_transition_duration: float
+    visit_counts: np.ndarray
+    occupancy: np.ndarray
+    start_state: int
+    end_state: int
+    path: Optional[np.ndarray] = None
+
+    @property
+    def size(self) -> int:
+        """Number of PoIs."""
+        return self.coverage_shares.shape[0]
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        return (
+            f"N={self.transitions} T={self.total_time:.1f}s "
+            f"dC={self.delta_c:.6g} "
+            f"E(trans)={self.e_bar_transitions:.4g} "
+            f"E(phys,norm)={self.e_bar_physical_normalized:.4g}"
+        )

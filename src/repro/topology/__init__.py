@@ -1,0 +1,23 @@
+"""Topology substrate: PoI placements and their physical timing model.
+
+A :class:`~repro.topology.model.Topology` turns geographical PoI placements
+into the quantities the Markov scheduling model consumes: travel times
+``T_jk`` (travel plus pause at the destination) and the pass-by coverage
+tensor ``T_{jk,i}`` (time PoI ``i`` is covered during the ``j -> k``
+transition), per Section III-A of the paper.
+"""
+
+from repro.topology.model import PoI, Topology
+from repro.topology.grid import grid_topology, line_topology
+from repro.topology.library import paper_topology, PAPER_TOPOLOGY_IDS
+from repro.topology.random_gen import random_topology
+
+__all__ = [
+    "PoI",
+    "Topology",
+    "grid_topology",
+    "line_topology",
+    "paper_topology",
+    "PAPER_TOPOLOGY_IDS",
+    "random_topology",
+]

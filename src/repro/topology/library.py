@@ -1,0 +1,87 @@
+"""The four evaluation topologies of the paper (Fig. 1).
+
+The exact geometry of Fig. 1 is not recoverable from the scanned paper, so
+these are documented reconstructions (see DESIGN.md section 3) chosen to
+match every surviving quantitative clue:
+
+* **Topology 1** — four PoIs on a 2x2 grid with corner-heavy target shares
+  ``Phi = (0.4, 0.1, 0.1, 0.4)`` (Table IV's setting).
+* **Topology 2** — six PoIs on a 2x3 grid with shares concentrated on two
+  corners, used by Figs. 5-6.
+* **Topology 3** — four PoIs on a line, ``Phi = (0.4, 0.1, 0.1, 0.4)``.
+  The line shape reproduces Table I's exposure-only optimum, whose achieved
+  coverage ``(0.214, 0.286, 0.286, 0.214)`` requires the inner PoIs to be
+  passed through on outer-to-outer trips.
+* **Topology 4** — nine PoIs on a 3x3 grid with a skewed allocation, the
+  "larger map, different allocation" counterpart of Topology 2 compared in
+  Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.topology.grid import grid_topology, line_topology
+from repro.topology.model import Topology
+
+#: Valid identifiers accepted by :func:`paper_topology`.
+PAPER_TOPOLOGY_IDS = (1, 2, 3, 4)
+
+
+def _topology_1() -> Topology:
+    return grid_topology(
+        rows=2,
+        cols=2,
+        target_shares=[0.4, 0.1, 0.1, 0.4],
+        name="paper-topology-1",
+    )
+
+
+def _topology_2() -> Topology:
+    return grid_topology(
+        rows=2,
+        cols=3,
+        target_shares=[0.3, 0.1, 0.1, 0.1, 0.1, 0.3],
+        name="paper-topology-2",
+    )
+
+
+def _topology_3() -> Topology:
+    return line_topology(
+        count=4,
+        target_shares=[0.4, 0.1, 0.1, 0.4],
+        name="paper-topology-3",
+    )
+
+
+def _topology_4() -> Topology:
+    return grid_topology(
+        rows=3,
+        cols=3,
+        target_shares=[0.2, 0.025, 0.2, 0.025, 0.05, 0.025, 0.2, 0.025, 0.25],
+        name="paper-topology-4",
+    )
+
+
+_BUILDERS: Dict[int, object] = {
+    1: _topology_1,
+    2: _topology_2,
+    3: _topology_3,
+    4: _topology_4,
+}
+
+
+def paper_topology(identifier: int) -> Topology:
+    """Return reconstruction of paper Topology ``identifier`` (1-4).
+
+    Each call builds a fresh instance, so callers may not mutate shared
+    state by accident.
+    """
+    try:
+        builder = _BUILDERS[int(identifier)]
+    except (KeyError, ValueError, TypeError):
+        raise ValueError(
+            f"unknown paper topology {identifier!r}; "
+            f"valid ids are {PAPER_TOPOLOGY_IDS}"
+        ) from None
+    return builder()

@@ -1,0 +1,197 @@
+"""The :class:`Topology` model: PoIs, target allocation, and derived timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.points import Point, PointLike, as_point
+from repro.topology.timing import (
+    check_disjoint_pois,
+    passby_tensor,
+    travel_distance_matrix,
+    travel_time_matrix,
+)
+from repro.utils.validation import check_distribution, check_positive
+
+#: Default sensor travel speed, meters/second.
+DEFAULT_SPEED = 10.0
+#: Default pause time at a PoI upon arrival, seconds.
+DEFAULT_PAUSE = 10.0
+
+
+@dataclass(frozen=True)
+class PoI:
+    """A point of interest: a location plus its target coverage share."""
+
+    index: int
+    position: Point
+    target_share: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"index must be >= 0, got {self.index}")
+        if not 0.0 <= self.target_share <= 1.0:
+            raise ValueError(
+                f"target_share must lie in [0, 1], got {self.target_share}"
+            )
+
+
+class Topology:
+    """Physical layout of the PoIs and the sensor's kinematic parameters.
+
+    Parameters
+    ----------
+    positions:
+        PoI locations (meters).  At least two, pairwise more than
+        ``2 * sensing_radius`` apart (the paper's disjointness requirement).
+    target_shares:
+        The prescribed coverage-time allocation ``Phi`` (sums to one).
+    sensing_radius:
+        Sensor coverage range ``r`` (meters).
+    speed:
+        Constant travel speed (meters/second).
+    pause_times:
+        Per-PoI pause time ``P_k`` on arrival (seconds); a scalar is
+        broadcast to all PoIs.
+    name:
+        Optional human-readable label used in reports.
+
+    The derived matrices (Section III-A) are exposed as read-only
+    properties computed once at construction:
+
+    * :attr:`travel_times` — ``T_jk`` including the destination pause.
+    * :attr:`passby` — the tensor ``T[j, k, i] = T_{jk,i}``.
+    * :attr:`distances` — raw pairwise distances ``d_jk``.
+    """
+
+    def __init__(
+        self,
+        positions: Sequence[PointLike],
+        target_shares: Sequence[float],
+        sensing_radius: float,
+        speed: float = DEFAULT_SPEED,
+        pause_times=DEFAULT_PAUSE,
+        name: Optional[str] = None,
+    ) -> None:
+        points = [as_point(p) for p in positions]
+        if len(points) < 2:
+            raise ValueError(
+                f"a topology needs at least 2 PoIs, got {len(points)}"
+            )
+        shares = check_distribution(
+            "target_shares", np.asarray(target_shares, dtype=float),
+            size=len(points),
+        )
+        self._sensing_radius = check_positive("sensing_radius", sensing_radius)
+        self._speed = check_positive("speed", speed)
+        pause_array = np.broadcast_to(
+            np.asarray(pause_times, dtype=float), (len(points),)
+        ).copy()
+        if np.any(pause_array <= 0):
+            raise ValueError("pause_times must all be > 0")
+        check_disjoint_pois(points, self._sensing_radius)
+
+        self._pois: List[PoI] = [
+            PoI(index=i, position=p, target_share=float(s))
+            for i, (p, s) in enumerate(zip(points, shares))
+        ]
+        self._pause_times = pause_array
+        self._name = name or f"topology-{len(points)}poi"
+        self._distances = travel_distance_matrix(points)
+        self._travel_times = travel_time_matrix(
+            points, self._speed, pause_array
+        )
+        self._passby = passby_tensor(
+            points, self._sensing_radius, self._speed, pause_array
+        )
+
+    # ----------------------------------------------------------------- #
+    # Basic attributes
+    # ----------------------------------------------------------------- #
+
+    @property
+    def name(self) -> str:
+        """Human-readable label."""
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Number of PoIs ``M``."""
+        return len(self._pois)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def pois(self) -> List[PoI]:
+        """The PoIs, in index order."""
+        return list(self._pois)
+
+    @property
+    def positions(self) -> List[Point]:
+        """PoI locations, in index order."""
+        return [poi.position for poi in self._pois]
+
+    @property
+    def target_shares(self) -> np.ndarray:
+        """The prescribed allocation ``Phi`` (copy)."""
+        return np.array([poi.target_share for poi in self._pois])
+
+    @property
+    def sensing_radius(self) -> float:
+        """Sensing range ``r`` in meters."""
+        return self._sensing_radius
+
+    @property
+    def speed(self) -> float:
+        """Travel speed in meters/second."""
+        return self._speed
+
+    @property
+    def pause_times(self) -> np.ndarray:
+        """Per-PoI pause times (copy)."""
+        return self._pause_times.copy()
+
+    # ----------------------------------------------------------------- #
+    # Derived timing quantities
+    # ----------------------------------------------------------------- #
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Pairwise straight-line distances ``d_jk`` (copy)."""
+        return self._distances.copy()
+
+    @property
+    def travel_times(self) -> np.ndarray:
+        """Transition durations ``T_jk = d_jk / speed + P_k`` (copy)."""
+        return self._travel_times.copy()
+
+    @property
+    def passby(self) -> np.ndarray:
+        """Coverage tensor ``T[j, k, i] = T_{jk,i}`` (copy)."""
+        return self._passby.copy()
+
+    def intermediate_pois(self, origin: int, destination: int) -> List[int]:
+        """PoIs covered mid-travel on the ``origin -> destination`` leg.
+
+        These are indices ``i`` distinct from both endpoints with
+        ``T_{jk,i} > 0`` — the geographically induced side-effect coverage
+        the paper emphasizes.
+        """
+        if origin == destination:
+            return []
+        row = self._passby[origin, destination]
+        return [
+            i
+            for i in range(self.size)
+            if i not in (origin, destination) and row[i] > 0.0
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology(name={self._name!r}, size={self.size}, "
+            f"r={self._sensing_radius}, speed={self._speed})"
+        )

@@ -1,0 +1,74 @@
+"""Random topology generation for tests and robustness experiments."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.topology.model import DEFAULT_PAUSE, DEFAULT_SPEED, Topology
+from repro.utils.rng import RandomState, as_generator
+
+
+def random_topology(
+    count: int,
+    area_side: float = 1000.0,
+    sensing_radius: float = 30.0,
+    speed: float = DEFAULT_SPEED,
+    pause_times=DEFAULT_PAUSE,
+    dirichlet_alpha: float = 1.0,
+    seed: RandomState = None,
+    max_attempts: int = 10_000,
+    name: Optional[str] = None,
+) -> Topology:
+    """Sample ``count`` PoIs uniformly in a square with disjoint discs.
+
+    PoIs are rejected-sampled until pairwise separations exceed
+    ``2 * sensing_radius`` plus a 5% safety margin.  Target shares are drawn
+    from a symmetric Dirichlet with concentration ``dirichlet_alpha``
+    (``alpha = 1`` gives a uniform draw over allocations; larger values
+    concentrate near the uniform allocation).
+
+    Raises ``RuntimeError`` when the square cannot accommodate the PoIs
+    within ``max_attempts`` placement attempts — a sign the area is too
+    small for the requested count and radius.
+    """
+    if count < 2:
+        raise ValueError(f"count must be >= 2, got {count}")
+    if area_side <= 0:
+        raise ValueError(f"area_side must be > 0, got {area_side}")
+    if sensing_radius <= 0:
+        raise ValueError(f"sensing_radius must be > 0, got {sensing_radius}")
+    if dirichlet_alpha <= 0:
+        raise ValueError(
+            f"dirichlet_alpha must be > 0, got {dirichlet_alpha}"
+        )
+    rng = as_generator(seed)
+    min_separation = 2.0 * sensing_radius * 1.05
+    positions: list = []
+    attempts = 0
+    while len(positions) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"could not place {count} PoIs with separation "
+                f">{min_separation:.3g} m in a {area_side:.3g} m square "
+                f"after {max_attempts} attempts; enlarge the area or "
+                "shrink the radius"
+            )
+        candidate = rng.uniform(0.0, area_side, size=2)
+        if all(
+            np.hypot(candidate[0] - p[0], candidate[1] - p[1])
+            > min_separation
+            for p in positions
+        ):
+            positions.append((float(candidate[0]), float(candidate[1])))
+    shares = rng.dirichlet(np.full(count, dirichlet_alpha))
+    return Topology(
+        positions=positions,
+        target_shares=shares,
+        sensing_radius=sensing_radius,
+        speed=speed,
+        pause_times=pause_times,
+        name=name or f"random-{count}",
+    )

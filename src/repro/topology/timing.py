@@ -1,0 +1,101 @@
+"""Construction of the timing matrices ``T_jk`` and ``T_{jk,i}``.
+
+These implement the notation of Section III-A:
+
+* ``T_jk`` — travel time from PoI ``j`` to PoI ``k`` along the straight-line
+  path, plus the pause time ``P_k`` at the destination.  ``T_jj = P_j``.
+* ``T_{jk,i}`` — time during the ``j -> k`` transition in which PoI ``i`` is
+  covered, with the paper's conventions ``T_{jk,j} = 0`` (leaving the origin
+  contributes nothing to its own coverage on that transition) and
+  ``T_{jk,k} = P_k`` (the destination is credited with its pause time).
+  Intermediate PoIs on the path are credited with the chord time their
+  sensing disc intersects the path, divided by the travel speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.coverage import coverage_fraction
+from repro.geometry.segments import Segment
+
+
+def travel_distance_matrix(positions) -> np.ndarray:
+    """Pairwise Euclidean distances between PoI positions."""
+    coords = np.asarray([p.as_tuple() for p in positions], dtype=float)
+    deltas = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=-1))
+
+
+def travel_time_matrix(
+    positions, speed: float, pause_times: np.ndarray
+) -> np.ndarray:
+    """Build ``T_jk = d_jk / speed + P_k`` (so ``T_jj = P_j``)."""
+    if speed <= 0:
+        raise ValueError(f"speed must be > 0, got {speed}")
+    distances = travel_distance_matrix(positions)
+    return distances / speed + np.asarray(pause_times, dtype=float)[None, :]
+
+
+def passby_tensor(
+    positions,
+    sensing_radius: float,
+    speed: float,
+    pause_times: np.ndarray,
+) -> np.ndarray:
+    """Build the coverage tensor ``T[j, k, i] = T_{jk,i}``.
+
+    The tensor is dense and of size ``M^3``; for the topology sizes in the
+    paper (4-9 PoIs) this is negligible, and even for hundreds of PoIs it
+    remains cheap because it is computed once per topology.
+    """
+    if sensing_radius < 0:
+        raise ValueError(f"sensing_radius must be >= 0, got {sensing_radius}")
+    if speed <= 0:
+        raise ValueError(f"speed must be > 0, got {speed}")
+    pause_times = np.asarray(pause_times, dtype=float)
+    count = len(positions)
+    tensor = np.zeros((count, count, count))
+    for j in range(count):
+        for k in range(count):
+            if j == k:
+                # Self-loop: the sensor stays at j and pauses there.
+                tensor[j, j, j] = pause_times[j]
+                continue
+            segment = Segment(positions[j], positions[k])
+            travel_time = segment.length() / speed
+            for i in range(count):
+                if i == j:
+                    # Paper convention: T_{jk,j} = 0 for k != j.
+                    continue
+                if i == k:
+                    # Paper convention: the destination is credited with its
+                    # pause time only.
+                    tensor[j, k, k] = pause_times[k]
+                    continue
+                fraction = coverage_fraction(
+                    segment, positions[i], sensing_radius
+                )
+                if fraction > 0.0:
+                    tensor[j, k, i] = fraction * travel_time
+    return tensor
+
+
+def check_disjoint_pois(positions, sensing_radius: float) -> None:
+    """Raise if two PoIs could be covered simultaneously.
+
+    Section III requires the PoIs to be *disjoint*: no sensor position may
+    cover two PoIs at once, which holds iff all pairwise distances exceed
+    ``2 * sensing_radius``.
+    """
+    distances = travel_distance_matrix(positions)
+    count = distances.shape[0]
+    for j in range(count):
+        for k in range(j + 1, count):
+            if distances[j, k] <= 2.0 * sensing_radius:
+                raise ValueError(
+                    f"PoIs {j} and {k} are {distances[j, k]:.3g} m apart, "
+                    f"within twice the sensing radius "
+                    f"{sensing_radius:.3g} m; the paper requires disjoint "
+                    "PoIs (no position covers two at once)"
+                )

@@ -1,0 +1,31 @@
+"""Shared utilities: RNG plumbing, argument validation, numeric helpers."""
+
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.validation import (
+    check_distribution,
+    check_matrix_shape,
+    check_positive,
+    check_probability,
+    check_square,
+)
+from repro.utils.linalg import (
+    is_row_stochastic,
+    project_row_sum_zero,
+    row_normalize,
+    relative_error,
+)
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "check_distribution",
+    "check_matrix_shape",
+    "check_positive",
+    "check_probability",
+    "check_square",
+    "is_row_stochastic",
+    "project_row_sum_zero",
+    "row_normalize",
+    "relative_error",
+]

@@ -1,0 +1,93 @@
+"""Argument-validation helpers shared across the library.
+
+Raising precise errors at the public API boundary keeps the numerical core
+free of defensive checks and makes misuse diagnosable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Default tolerance for stochasticity / distribution checks.
+DEFAULT_ATOL = 1e-9
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Validate that a scalar is positive (or non-negative if not strict)."""
+    value = float(value)
+    if strict and not value > 0.0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that a scalar lies in the closed unit interval."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_square(name: str, matrix: np.ndarray) -> np.ndarray:
+    """Validate that ``matrix`` is a finite square 2-D float array."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {matrix.shape}")
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return matrix
+
+
+def check_matrix_shape(
+    name: str, matrix: np.ndarray, shape: tuple
+) -> np.ndarray:
+    """Validate an exact array shape."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != shape:
+        raise ValueError(
+            f"{name} must have shape {shape}, got {matrix.shape}"
+        )
+    return matrix
+
+
+def check_distribution(
+    name: str,
+    vector: np.ndarray,
+    size: Optional[int] = None,
+    atol: float = DEFAULT_ATOL,
+) -> np.ndarray:
+    """Validate that ``vector`` is a probability distribution.
+
+    Entries must be non-negative and sum to one within ``atol``.  Returns
+    the vector as a float array (not renormalized; an almost-valid input is
+    accepted as-is so callers can decide whether to normalize).
+    """
+    vector = np.asarray(vector, dtype=float)
+    if vector.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {vector.shape}")
+    if size is not None and vector.shape[0] != size:
+        raise ValueError(
+            f"{name} must have length {size}, got {vector.shape[0]}"
+        )
+    if not np.all(np.isfinite(vector)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if np.any(vector < -atol):
+        raise ValueError(f"{name} has negative entries: min={vector.min()}")
+    total = float(vector.sum())
+    if abs(total - 1.0) > max(atol, 1e-12 * vector.shape[0]):
+        raise ValueError(f"{name} must sum to 1, got {total}")
+    return vector
+
+
+def check_index(name: str, index: int, size: int) -> int:
+    """Validate an integer index into a collection of length ``size``."""
+    index = int(index)
+    if not 0 <= index < size:
+        raise ValueError(f"{name} must lie in [0, {size}), got {index}")
+    return index

@@ -1,0 +1,206 @@
+"""Tests for repro.baselines (MCMC, heuristics, max-entropy)."""
+
+import numpy as np
+import pytest
+
+from repro import paper_topology
+from repro.baselines.heuristics import (
+    nearest_neighbor_matrix,
+    proportional_matrix,
+    uniform_policy_matrix,
+)
+from repro.baselines.maxent import max_entropy_matrix
+from repro.baselines.mcmc import (
+    metropolis_hastings_matrix,
+    stationary_for_target_coverage,
+)
+from repro.core.cost import CostWeights, CoverageCost
+from repro.markov.entropy import entropy_rate
+from repro.markov.ergodicity import is_ergodic
+from repro.markov.stationary import stationary_via_linear_solve
+from repro.utils.linalg import is_row_stochastic
+
+
+class TestMetropolisHastings:
+    def test_stationary_matches_target(self):
+        target = np.array([0.4, 0.3, 0.2, 0.1])
+        matrix = metropolis_hastings_matrix(target)
+        pi = stationary_via_linear_solve(matrix)
+        np.testing.assert_allclose(pi, target, atol=1e-10)
+
+    def test_detailed_balance(self):
+        target = np.array([0.5, 0.25, 0.25])
+        matrix = metropolis_hastings_matrix(target)
+        for i in range(3):
+            for j in range(3):
+                assert target[i] * matrix[i, j] == pytest.approx(
+                    target[j] * matrix[j, i], abs=1e-12
+                )
+
+    def test_stochastic_and_ergodic(self):
+        matrix = metropolis_hastings_matrix(
+            np.array([0.7, 0.1, 0.1, 0.1])
+        )
+        assert is_row_stochastic(matrix)
+        assert is_ergodic(matrix)
+
+    def test_uniform_target_gives_uniform_offdiag(self):
+        matrix = metropolis_hastings_matrix(np.full(4, 0.25))
+        off = matrix[~np.eye(4, dtype=bool)]
+        np.testing.assert_allclose(off, 1 / 3)
+
+    def test_custom_proposal(self):
+        target = np.array([0.6, 0.4])
+        proposal = np.array([[0.0, 1.0], [1.0, 0.0]])
+        matrix = metropolis_hastings_matrix(target, proposal)
+        pi = stationary_via_linear_solve(matrix)
+        np.testing.assert_allclose(pi, target, atol=1e-10)
+
+    def test_rejects_zero_target(self):
+        with pytest.raises(ValueError, match="positive"):
+            metropolis_hastings_matrix(np.array([1.0, 0.0]))
+
+    def test_rejects_bad_proposal(self):
+        with pytest.raises(ValueError, match="row-stochastic"):
+            metropolis_hastings_matrix(
+                np.array([0.5, 0.5]), np.array([[0.2, 0.2], [0.5, 0.5]])
+            )
+
+    def test_rejects_negative_proposal(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            metropolis_hastings_matrix(
+                np.array([0.5, 0.5]),
+                np.array([[1.5, -0.5], [0.5, 0.5]]),
+            )
+
+
+class TestCoverageCorrection:
+    def test_improves_on_naive_target(self):
+        topology = paper_topology(3)
+        cost = CoverageCost(topology, CostWeights(alpha=1.0, beta=0.0))
+        phi = topology.target_shares
+        naive = metropolis_hastings_matrix(phi)
+        naive_error = np.abs(
+            cost.coverage_shares(naive) - phi
+        ).max()
+        pi, corrected = stationary_for_target_coverage(
+            topology, iterations=50
+        )
+        corrected_error = np.abs(
+            cost.coverage_shares(corrected) - phi
+        ).max()
+        assert corrected_error <= naive_error
+
+    def test_returns_valid_chain(self):
+        topology = paper_topology(1)
+        pi, matrix = stationary_for_target_coverage(
+            topology, iterations=20
+        )
+        assert is_row_stochastic(matrix)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_validates_arguments(self):
+        topology = paper_topology(1)
+        with pytest.raises(ValueError, match="iterations"):
+            stationary_for_target_coverage(topology, iterations=0)
+        with pytest.raises(ValueError, match="damping"):
+            stationary_for_target_coverage(topology, damping=0.0)
+
+
+class TestHeuristics:
+    def test_uniform_policy(self):
+        matrix = uniform_policy_matrix(4)
+        assert is_row_stochastic(matrix)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+        np.testing.assert_allclose(
+            matrix[~np.eye(4, dtype=bool)], 1 / 3
+        )
+
+    def test_uniform_policy_with_stay(self):
+        matrix = uniform_policy_matrix(4, stay_probability=0.4)
+        np.testing.assert_allclose(np.diag(matrix), 0.4)
+        assert is_row_stochastic(matrix)
+
+    def test_uniform_rejects_full_stay(self):
+        with pytest.raises(ValueError, match="ergodicity"):
+            uniform_policy_matrix(4, stay_probability=1.0)
+
+    def test_proportional_rows_are_target(self):
+        phi = np.array([0.5, 0.3, 0.2])
+        matrix = proportional_matrix(phi)
+        for row in matrix:
+            np.testing.assert_allclose(row, phi)
+
+    def test_proportional_stationary_is_target(self):
+        phi = np.array([0.5, 0.3, 0.2])
+        pi = stationary_via_linear_solve(proportional_matrix(phi))
+        np.testing.assert_allclose(pi, phi, atol=1e-12)
+
+    def test_proportional_rejects_zero_share(self):
+        with pytest.raises(ValueError, match="positive"):
+            proportional_matrix(np.array([1.0, 0.0]))
+
+    def test_nearest_neighbor_prefers_close(self):
+        topology = paper_topology(3)  # line: 0-1-2-3
+        matrix = nearest_neighbor_matrix(topology, temperature=0.2)
+        assert matrix[0, 1] > matrix[0, 2] > matrix[0, 3]
+        assert is_row_stochastic(matrix)
+
+    def test_nearest_neighbor_high_temperature_uniformizes(self):
+        topology = paper_topology(3)
+        matrix = nearest_neighbor_matrix(topology, temperature=100.0)
+        off = matrix[0, 1:]
+        assert off.max() - off.min() < 0.02
+
+    def test_nearest_neighbor_validates(self):
+        topology = paper_topology(1)
+        with pytest.raises(ValueError, match="temperature"):
+            nearest_neighbor_matrix(topology, temperature=0.0)
+
+
+class TestMaxEntropy:
+    def test_iid_chain_for_pi(self):
+        phi = np.array([0.4, 0.3, 0.3])
+        matrix = max_entropy_matrix(pi=phi)
+        pi = stationary_via_linear_solve(matrix)
+        np.testing.assert_allclose(pi, phi, atol=1e-12)
+        # Entropy rate equals H(phi), the maximum for this stationary law.
+        assert entropy_rate(matrix) == pytest.approx(
+            float(-(phi * np.log(phi)).sum())
+        )
+
+    def test_parry_on_complete_graph(self):
+        adjacency = 1 - np.eye(4)
+        matrix = max_entropy_matrix(adjacency=adjacency)
+        assert is_row_stochastic(matrix)
+        # Complete graph without self-loops: H = ln(M - 1).
+        assert entropy_rate(matrix) == pytest.approx(np.log(3))
+
+    def test_parry_on_ring(self):
+        ring = np.zeros((4, 4))
+        for i in range(4):
+            ring[i, (i + 1) % 4] = 1
+            ring[i, (i - 1) % 4] = 1
+        matrix = max_entropy_matrix(adjacency=ring)
+        assert entropy_rate(matrix) == pytest.approx(np.log(2))
+
+    def test_requires_exactly_one_argument(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            max_entropy_matrix()
+        with pytest.raises(ValueError, match="exactly one"):
+            max_entropy_matrix(
+                pi=np.array([0.5, 0.5]), adjacency=np.eye(2)
+            )
+
+    def test_rejects_zero_pi(self):
+        with pytest.raises(ValueError, match="positive"):
+            max_entropy_matrix(pi=np.array([1.0, 0.0]))
+
+    def test_rejects_reducible_adjacency(self):
+        blocks = np.array([
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 1.0],
+            [0.0, 1.0, 1.0],
+        ])
+        with pytest.raises(ValueError):
+            max_entropy_matrix(adjacency=blocks)

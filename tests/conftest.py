@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CostWeights, CoverageCost, paper_topology
+from repro.core.initializers import dirichlet_matrix
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def topology1():
+    """Paper Topology 1 (2x2 grid)."""
+    return paper_topology(1)
+
+
+@pytest.fixture
+def topology3():
+    """Paper Topology 3 (line of 4)."""
+    return paper_topology(3)
+
+
+@pytest.fixture
+def cost_both(topology1):
+    """Combined cost (alpha=1, beta=1) on Topology 1."""
+    return CoverageCost(topology1, CostWeights(alpha=1.0, beta=1.0))
+
+
+@pytest.fixture
+def random_ergodic_matrix(rng):
+    """A strictly positive (hence ergodic) random transition matrix."""
+    return dirichlet_matrix(5, floor=0.01, seed=rng)
+
+
+def random_zero_rowsum_direction(rng, size):
+    """A random direction in the tangent space of stochastic matrices."""
+    direction = rng.normal(size=(size, size))
+    return direction - direction.mean(axis=1, keepdims=True)

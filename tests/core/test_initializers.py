@@ -1,0 +1,115 @@
+"""Tests for repro.core.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.core.initializers import (
+    damped_baseline_matrix,
+    dirichlet_matrix,
+    paper_random_matrix,
+    uniform_matrix,
+)
+from repro.markov.ergodicity import is_ergodic
+from repro.markov.stationary import stationary_via_linear_solve
+from repro.utils.linalg import is_row_stochastic
+
+
+class TestUniform:
+    def test_entries(self):
+        matrix = uniform_matrix(4)
+        np.testing.assert_allclose(matrix, 0.25)
+
+    def test_stochastic_and_ergodic(self):
+        matrix = uniform_matrix(5)
+        assert is_row_stochastic(matrix)
+        assert is_ergodic(matrix)
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError, match="size"):
+            uniform_matrix(1)
+
+
+class TestPaperRandom:
+    def test_stochastic(self):
+        matrix = paper_random_matrix(5, seed=0)
+        assert is_row_stochastic(matrix)
+
+    def test_strictly_positive(self):
+        for seed in range(10):
+            assert paper_random_matrix(4, seed=seed).min() > 0
+
+    def test_ergodic(self):
+        assert is_ergodic(paper_random_matrix(6, seed=3))
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            paper_random_matrix(4, seed=1), paper_random_matrix(4, seed=1)
+        )
+
+    def test_last_column_gets_remainder(self):
+        """The paper's recipe biases mass toward the last column."""
+        matrices = [paper_random_matrix(4, seed=s) for s in range(50)]
+        mean_last = np.mean([m[:, -1].mean() for m in matrices])
+        mean_first = np.mean([m[:, 0].mean() for m in matrices])
+        assert mean_last > mean_first
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError, match="size"):
+            paper_random_matrix(1)
+
+
+class TestDampedBaseline:
+    def test_stationary_is_phi(self):
+        phi = np.array([0.4, 0.1, 0.1, 0.4])
+        for delta in (1.0, 0.3, 0.01):
+            matrix = damped_baseline_matrix(phi, delta)
+            pi = stationary_via_linear_solve(matrix)
+            np.testing.assert_allclose(pi, phi, atol=1e-10)
+
+    def test_delta_one_is_proportional(self):
+        phi = np.array([0.25, 0.25, 0.25, 0.25])
+        matrix = damped_baseline_matrix(phi, 1.0)
+        np.testing.assert_allclose(matrix, 0.25)
+
+    def test_stochastic(self):
+        matrix = damped_baseline_matrix(
+            np.array([0.5, 0.3, 0.2]), 0.1
+        )
+        assert is_row_stochastic(matrix)
+
+    def test_rejects_zero_share(self):
+        with pytest.raises(ValueError, match="positive"):
+            damped_baseline_matrix(np.array([1.0, 0.0]), 0.5)
+
+    @pytest.mark.parametrize("delta", [0.0, -0.5, 1.5])
+    def test_rejects_bad_delta(self, delta):
+        with pytest.raises(ValueError, match="delta"):
+            damped_baseline_matrix(np.array([0.5, 0.5]), delta)
+
+    def test_rejects_scalar_shares(self):
+        with pytest.raises(ValueError, match="1-D"):
+            damped_baseline_matrix(np.array(0.5), 0.5)
+
+
+class TestDirichlet:
+    def test_stochastic(self):
+        assert is_row_stochastic(dirichlet_matrix(5, seed=0))
+
+    def test_floor_respected(self):
+        matrix = dirichlet_matrix(4, floor=0.02, seed=1)
+        assert matrix.min() >= 0.02
+
+    def test_exchangeable_columns(self):
+        """Dirichlet rows have no last-column bias."""
+        matrices = [dirichlet_matrix(4, seed=s) for s in range(60)]
+        mean_last = np.mean([m[:, -1].mean() for m in matrices])
+        assert mean_last == pytest.approx(0.25, abs=0.05)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"size": 1},
+        {"size": 4, "floor": 0.5},
+        {"size": 4, "concentration": 0.0},
+    ])
+    def test_rejects_bad_args(self, kwargs):
+        with pytest.raises(ValueError):
+            dirichlet_matrix(**kwargs)

@@ -1,0 +1,134 @@
+"""Tests for repro.core.mirror (softmax mirror descent)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostWeights,
+    CoverageCost,
+    MirrorOptions,
+    optimize_mirror,
+    paper_topology,
+    uniform_matrix,
+)
+from repro.core.mirror import gradient_in_logits, logits_of, softmax_rows
+from repro.core.state import ChainState
+from repro.utils.linalg import is_row_stochastic
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return CoverageCost(
+        paper_topology(1), CostWeights(alpha=1.0, beta=1.0)
+    )
+
+
+class TestSoftmaxPieces:
+    def test_softmax_is_stochastic(self, rng):
+        logits = rng.normal(size=(5, 5)) * 10
+        assert is_row_stochastic(softmax_rows(logits))
+
+    def test_softmax_stable_for_large_logits(self):
+        logits = np.array([[1000.0, 0.0], [0.0, -1000.0]])
+        p = softmax_rows(logits)
+        assert np.all(np.isfinite(p))
+        assert is_row_stochastic(p)
+
+    def test_logits_round_trip(self, rng):
+        matrix = rng.dirichlet(np.ones(4), size=4)
+        np.testing.assert_allclose(
+            softmax_rows(logits_of(matrix)), matrix, atol=1e-10
+        )
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        p = rng.dirichlet(np.ones(4), size=4)
+        g = rng.normal(size=(4, 4))
+        grad_q = gradient_in_logits(p, g)
+        np.testing.assert_allclose(
+            grad_q.sum(axis=1), 0.0, atol=1e-12
+        )
+
+    def test_gradient_matches_finite_difference(self, cost, rng):
+        """d/dt U(softmax(Q + t D)) == <dU/dQ, D>."""
+        logits = rng.normal(size=(4, 4))
+        p = softmax_rows(logits)
+        state = ChainState.from_matrix(p, check=False)
+        grad_q = gradient_in_logits(p, cost.gradient(state))
+        h = 1e-6
+        for _ in range(3):
+            direction = rng.normal(size=(4, 4))
+            numeric = (
+                cost.value(softmax_rows(logits + h * direction))
+                - cost.value(softmax_rows(logits - h * direction))
+            ) / (2 * h)
+            analytic = float(np.sum(grad_q * direction))
+            assert numeric == pytest.approx(analytic, rel=1e-4,
+                                            abs=1e-7)
+
+
+class TestOptimizeMirror:
+    def test_monotone_decrease(self, cost):
+        result = optimize_mirror(
+            cost, options=MirrorOptions(max_iterations=40)
+        )
+        trace = result.cost_trace()
+        assert np.all(np.diff(trace) <= 1e-9)
+
+    def test_final_matrix_valid(self, cost):
+        result = optimize_mirror(
+            cost, options=MirrorOptions(max_iterations=30)
+        )
+        assert is_row_stochastic(result.matrix)
+        assert result.matrix.min() > 0.0
+
+    def test_improves_on_uniform(self, cost):
+        start = cost.value(uniform_matrix(4))
+        result = optimize_mirror(
+            cost, options=MirrorOptions(max_iterations=50)
+        )
+        assert result.u_eps < start
+
+    def test_respects_initial(self, cost, rng):
+        initial = rng.dirichlet(np.ones(4), size=4)
+        result = optimize_mirror(
+            cost, initial=initial,
+            options=MirrorOptions(max_iterations=1),
+        )
+        assert result.iterations <= 1
+
+    def test_competitive_with_adaptive_on_coverage(self):
+        """The headline of ablation A5 at small scale."""
+        from repro import AdaptiveOptions, optimize_adaptive
+
+        cost = CoverageCost(
+            paper_topology(1), CostWeights(alpha=1.0, beta=1e-4)
+        )
+        start = uniform_matrix(4)
+        mirror = optimize_mirror(
+            cost, initial=start,
+            options=MirrorOptions(max_iterations=120),
+        )
+        adaptive = optimize_adaptive(
+            cost, initial=start,
+            options=AdaptiveOptions(max_iterations=120,
+                                    trisection_rounds=20),
+        )
+        assert mirror.u_eps <= adaptive.u_eps * 2.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("max_iterations", 0),
+        ("momentum", 1.0),
+        ("momentum", -0.1),
+        ("max_logit", 0.0),
+    ])
+    def test_option_validation(self, field, value):
+        with pytest.raises(ValueError):
+            MirrorOptions(**{field: value})
+
+    def test_history_off(self, cost):
+        result = optimize_mirror(
+            cost,
+            options=MirrorOptions(max_iterations=5,
+                                  record_history=False),
+        )
+        assert result.history == []

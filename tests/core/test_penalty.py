@@ -1,0 +1,128 @@
+"""Tests for repro.core.penalty (the Eq. 9 log-barrier)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.penalty import BarrierPenalty
+from repro.core.state import ChainState
+
+
+@pytest.fixture
+def barrier():
+    return BarrierPenalty(epsilon=1e-2)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            BarrierPenalty(epsilon=0.0)
+
+    def test_rejects_overlapping_bands(self):
+        with pytest.raises(ValueError, match="overlap"):
+            BarrierPenalty(epsilon=0.6)
+
+
+class TestValue:
+    def test_zero_in_interior(self, barrier):
+        p = np.array([[0.5, 0.3], [0.2, 0.9]])
+        np.testing.assert_array_equal(
+            barrier.elementwise_value(p), 0.0
+        )
+
+    def test_zero_exactly_at_band_edges(self, barrier):
+        p = np.array([1e-2, 1.0 - 1e-2])
+        np.testing.assert_allclose(
+            barrier.elementwise_value(p), 0.0, atol=1e-30
+        )
+
+    def test_positive_inside_lower_band(self, barrier):
+        assert barrier.elementwise_value(np.array([1e-3]))[0] > 0
+
+    def test_positive_inside_upper_band(self, barrier):
+        assert barrier.elementwise_value(np.array([0.9999]))[0] > 0
+
+    def test_infinite_at_boundaries(self, barrier):
+        values = barrier.elementwise_value(np.array([0.0, 1.0]))
+        assert np.all(np.isinf(values))
+
+    def test_closed_form_lower(self, barrier):
+        """phi(p) = -ln(p) (eps - p)^2 / eps for p <= eps."""
+        p = 5e-3
+        expected = -np.log(p) * (1e-2 - p) ** 2 / 1e-2
+        assert barrier.elementwise_value(np.array([p]))[0] \
+            == pytest.approx(expected)
+
+    def test_rejects_out_of_range(self, barrier):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            barrier.elementwise_value(np.array([1.5]))
+
+    def test_symmetry(self, barrier):
+        """phi(p) == phi(1 - p) by construction."""
+        p = np.array([1e-3, 2e-3, 9e-3])
+        np.testing.assert_allclose(
+            barrier.elementwise_value(p),
+            barrier.elementwise_value(1.0 - p),
+            rtol=1e-12,
+        )
+
+
+class TestGradient:
+    def test_zero_in_interior(self, barrier):
+        np.testing.assert_array_equal(
+            barrier.elementwise_grad(np.array([0.5])), 0.0
+        )
+
+    def test_matches_finite_difference(self, barrier):
+        h = 1e-9
+        for p in [2e-3, 8e-3, 0.993, 0.999]:
+            numeric = (
+                barrier.elementwise_value(np.array([p + h]))[0]
+                - barrier.elementwise_value(np.array([p - h]))[0]
+            ) / (2 * h)
+            analytic = barrier.elementwise_grad(np.array([p]))[0]
+            assert analytic == pytest.approx(numeric, rel=1e-4)
+
+    def test_pushes_away_from_zero(self, barrier):
+        """Negative derivative near 0: descent increases p."""
+        assert barrier.elementwise_grad(np.array([1e-4]))[0] < 0
+
+    def test_pushes_away_from_one(self, barrier):
+        assert barrier.elementwise_grad(np.array([1.0 - 1e-4]))[0] > 0
+
+    def test_continuous_at_band_edge(self, barrier):
+        """The barrier is C^1: gradient ~ 0 just inside the band."""
+        just_inside = barrier.elementwise_grad(
+            np.array([1e-2 - 1e-10])
+        )[0]
+        assert abs(just_inside) < 1e-6
+
+    def test_rejects_out_of_range(self, barrier):
+        with pytest.raises(ValueError):
+            barrier.elementwise_grad(np.array([-0.1]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(p=st.floats(1e-12, 1.0 - 1e-12))
+    def test_property_value_nonnegative(self, p):
+        barrier = BarrierPenalty(epsilon=1e-2)
+        assert barrier.elementwise_value(np.array([p]))[0] >= 0.0
+
+
+class TestObjectiveTermInterface:
+    def test_state_value_sums_entries(self, barrier):
+        matrix = np.array([[0.999, 0.001], [0.5, 0.5]])
+        state = ChainState.from_matrix(matrix)
+        expected = barrier.elementwise_value(matrix).sum()
+        assert barrier.value(state) == pytest.approx(expected)
+
+    def test_grad_p_shape(self, barrier):
+        matrix = np.full((3, 3), 1 / 3)
+        state = ChainState.from_matrix(matrix)
+        assert barrier.grad_p(state).shape == (3, 3)
+
+    def test_no_pi_or_z_dependence(self, barrier):
+        matrix = np.full((3, 3), 1 / 3)
+        state = ChainState.from_matrix(matrix)
+        assert barrier.grad_pi(state) is None
+        assert barrier.grad_z(state) is None

@@ -1,0 +1,65 @@
+"""Tests for repro.core.result."""
+
+import numpy as np
+
+from repro.core.result import IterationRecord, OptimizationResult
+
+
+def make_result(costs):
+    history = [
+        IterationRecord(
+            iteration=i + 1, u_eps=c, u=c, delta_c=c / 2, e_bar=c / 3,
+            step=1e-3, gradient_norm=1.0,
+        )
+        for i, c in enumerate(costs)
+    ]
+    return OptimizationResult(
+        matrix=np.full((2, 2), 0.5),
+        u_eps=costs[-1], u=costs[-1], delta_c=costs[-1] / 2,
+        e_bar=costs[-1] / 3, iterations=len(costs), converged=True,
+        stop_reason="stalled", history=history,
+    )
+
+
+class TestOptimizationResult:
+    def test_best_defaults_to_final(self):
+        result = make_result([3.0, 2.0, 1.0])
+        np.testing.assert_array_equal(result.best_matrix, result.matrix)
+        assert result.best_u_eps == 1.0
+
+    def test_traces(self):
+        result = make_result([3.0, 2.0, 1.0])
+        np.testing.assert_allclose(result.cost_trace(), [3.0, 2.0, 1.0])
+        np.testing.assert_allclose(result.u_trace(), [3.0, 2.0, 1.0])
+        np.testing.assert_allclose(
+            result.delta_c_trace(), [1.5, 1.0, 0.5]
+        )
+        np.testing.assert_allclose(
+            result.e_bar_trace(), [1.0, 2 / 3, 1 / 3]
+        )
+
+    def test_empty_history_traces(self):
+        result = make_result([1.0])
+        result.history.clear()
+        assert result.cost_trace().size == 0
+
+    def test_checkpoint_iterations(self):
+        result = make_result([1.0])
+        result.checkpoints.extend([(5, np.eye(2)), (10, np.eye(2))])
+        assert result.checkpoint_iterations() == [5, 10]
+
+    def test_summary_contains_key_fields(self):
+        text = make_result([2.0, 1.0]).summary()
+        assert "U_eps=1" in text
+        assert "stalled" in text
+
+    def test_explicit_best_preserved(self):
+        result = OptimizationResult(
+            matrix=np.eye(2), u_eps=5.0, u=5.0, delta_c=1.0, e_bar=1.0,
+            iterations=1, converged=False, stop_reason="max_iterations",
+            best_matrix=np.full((2, 2), 0.5), best_u_eps=2.0,
+        )
+        assert result.best_u_eps == 2.0
+        np.testing.assert_array_equal(
+            result.best_matrix, np.full((2, 2), 0.5)
+        )

@@ -1,0 +1,141 @@
+"""Tests for repro.experiments.reporting and .config."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    CI_SCALE,
+    PAPER_SCALE,
+    PAPER_SCALE_ENV,
+    current_scale,
+    paper_scale_requested,
+)
+from repro.experiments.reporting import (
+    FigureResult,
+    Series,
+    TableResult,
+    _downsample_indices,
+    empirical_cdf,
+    format_table,
+    format_value,
+)
+
+
+class TestFormatting:
+    def test_format_value_float(self):
+        assert format_value(0.123456) == "0.1235"
+
+    def test_format_value_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_format_value_string(self):
+        assert format_value("abc") == "abc"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].strip().startswith("a")
+
+    def test_format_table_empty(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestTableResult:
+    def test_render_contains_everything(self):
+        table = TableResult(
+            experiment_id="Table X",
+            title="demo",
+            columns=["k", "v"],
+            rows=[["a", 1.0]],
+            notes="a note",
+        )
+        text = table.render()
+        assert "Table X" in text
+        assert "demo" in text
+        assert "a note" in text
+        assert "a" in text
+
+
+class TestSeries:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            Series("s", np.arange(3), np.arange(4))
+
+    def test_coerces_to_float(self):
+        series = Series("s", [1, 2], [3, 4])
+        assert series.x.dtype == float
+
+
+class TestFigureResult:
+    def test_render_lists_series(self):
+        figure = FigureResult(
+            experiment_id="Figure X",
+            title="demo",
+            x_label="iter",
+            y_label="U",
+            series=[Series("curve", np.arange(5.0), np.arange(5.0))],
+        )
+        text = figure.render()
+        assert "Figure X" in text
+        assert "curve" in text
+
+    def test_render_downsamples(self):
+        figure = FigureResult(
+            experiment_id="F", title="t", x_label="x", y_label="y",
+            series=[
+                Series("long", np.arange(1000.0), np.arange(1000.0))
+            ],
+        )
+        line = [
+            l for l in figure.render(max_points=5).splitlines()
+            if "long" in l
+        ][0]
+        assert line.count("(") <= 6
+
+
+class TestDownsample:
+    def test_small_passthrough(self):
+        np.testing.assert_array_equal(
+            _downsample_indices(5, 10), np.arange(5)
+        )
+
+    def test_bounds(self):
+        indices = _downsample_indices(1000, 10)
+        assert indices[0] == 0
+        assert indices[-1] == 999
+        assert len(indices) <= 10
+
+    def test_empty(self):
+        assert _downsample_indices(0, 5).size == 0
+
+
+class TestEmpiricalCdf:
+    def test_sorted_output(self):
+        x, y = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(y, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        x, y = empirical_cdf([])
+        assert x.size == 0 and y.size == 0
+
+
+class TestScaleConfig:
+    def test_ci_scale_smaller_than_paper(self):
+        assert CI_SCALE.table3_runs < PAPER_SCALE.table3_runs
+        assert CI_SCALE.sim_transitions < PAPER_SCALE.sim_transitions
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.delenv(PAPER_SCALE_ENV, raising=False)
+        assert not paper_scale_requested()
+        assert current_scale() is CI_SCALE
+        monkeypatch.setenv(PAPER_SCALE_ENV, "1")
+        assert paper_scale_requested()
+        assert current_scale() is PAPER_SCALE
+
+    def test_env_false_values(self, monkeypatch):
+        for value in ("0", "false", "no", ""):
+            monkeypatch.setenv(PAPER_SCALE_ENV, value)
+            assert not paper_scale_requested()

@@ -1,0 +1,90 @@
+"""Tests for repro.geometry.points."""
+
+import math
+
+import pytest
+
+from repro.geometry.points import Point, as_point, distance, interpolate
+
+
+class TestPoint:
+    def test_construction(self):
+        p = Point(1.0, 2.0)
+        assert p.x == 1.0 and p.y == 2.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            Point(float("nan"), 0.0)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            Point(0.0, float("inf"))
+
+    def test_immutable(self):
+        p = Point(1.0, 2.0)
+        with pytest.raises(Exception):
+            p.x = 3.0
+
+    def test_arithmetic(self):
+        a, b = Point(1.0, 2.0), Point(3.0, 5.0)
+        assert (a + b) == Point(4.0, 7.0)
+        assert (b - a) == Point(2.0, 3.0)
+        assert (2 * a) == Point(2.0, 4.0)
+        assert (a * 2) == Point(2.0, 4.0)
+
+    def test_dot_and_norm(self):
+        assert Point(3.0, 4.0).norm() == pytest.approx(5.0)
+        assert Point(1.0, 2.0).dot(Point(3.0, 4.0)) == pytest.approx(11.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+
+class TestAsPoint:
+    def test_passthrough(self):
+        p = Point(1.0, 2.0)
+        assert as_point(p) is p
+
+    def test_tuple(self):
+        assert as_point((3, 4)) == Point(3.0, 4.0)
+
+    def test_list(self):
+        assert as_point([3, 4]) == Point(3.0, 4.0)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="2 coordinates"):
+            as_point((1, 2, 3))
+
+
+class TestDistance:
+    def test_pythagoras(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_symmetric(self):
+        assert distance((1, 2), (5, 7)) == distance((5, 7), (1, 2))
+
+    def test_zero_for_same(self):
+        assert distance((2, 2), (2, 2)) == 0.0
+
+    def test_triangle_inequality(self):
+        a, b, c = (0, 0), (1, 3), (4, 1)
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-12
+
+
+class TestInterpolate:
+    def test_endpoints(self):
+        assert interpolate((0, 0), (10, 20), 0.0) == Point(0.0, 0.0)
+        assert interpolate((0, 0), (10, 20), 1.0) == Point(10.0, 20.0)
+
+    def test_midpoint(self):
+        assert interpolate((0, 0), (10, 20), 0.5) == Point(5.0, 10.0)
+
+    def test_extrapolation(self):
+        assert interpolate((0, 0), (10, 0), 2.0) == Point(20.0, 0.0)
+
+    def test_collinear(self):
+        p = interpolate((1, 1), (5, 5), 0.3)
+        assert math.isclose(p.x, p.y)

@@ -1,0 +1,117 @@
+"""Tests for repro.geometry.segments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.points import Point
+from repro.geometry.segments import (
+    Segment,
+    line_point_distance,
+    make_segment,
+    point_segment_distance,
+    project_onto_segment,
+    segments_almost_equal,
+    unclamped_projection,
+)
+
+coords = st.floats(-1000, 1000, allow_nan=False)
+
+
+def seg(x1, y1, x2, y2):
+    return Segment(Point(x1, y1), Point(x2, y2))
+
+
+class TestSegment:
+    def test_length(self):
+        assert seg(0, 0, 3, 4).length() == pytest.approx(5.0)
+
+    def test_degenerate(self):
+        assert seg(1, 1, 1, 1).is_degenerate()
+        assert not seg(0, 0, 1, 0).is_degenerate()
+
+    def test_point_at(self):
+        s = seg(0, 0, 10, 0)
+        assert s.point_at(0.25) == Point(2.5, 0.0)
+
+    def test_make_segment(self):
+        s = make_segment((0, 0), (1, 2))
+        assert s.end == Point(1.0, 2.0)
+
+
+class TestProjection:
+    def test_interior(self):
+        s = seg(0, 0, 10, 0)
+        assert project_onto_segment((5, 3), s) == pytest.approx(0.5)
+
+    def test_clamps_before_start(self):
+        s = seg(0, 0, 10, 0)
+        assert project_onto_segment((-5, 1), s) == 0.0
+
+    def test_clamps_after_end(self):
+        s = seg(0, 0, 10, 0)
+        assert project_onto_segment((15, 1), s) == 1.0
+
+    def test_degenerate_projects_to_zero(self):
+        assert project_onto_segment((5, 5), seg(1, 1, 1, 1)) == 0.0
+
+    def test_unclamped_extends(self):
+        s = seg(0, 0, 10, 0)
+        assert unclamped_projection((15, 1), s) == pytest.approx(1.5)
+        assert unclamped_projection((-5, 0), s) == pytest.approx(-0.5)
+
+    def test_unclamped_rejects_degenerate(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            unclamped_projection((0, 0), seg(1, 1, 1, 1))
+
+
+class TestDistances:
+    def test_perpendicular_distance(self):
+        s = seg(0, 0, 10, 0)
+        assert point_segment_distance((5, 3), s) == pytest.approx(3.0)
+
+    def test_endpoint_distance(self):
+        s = seg(0, 0, 10, 0)
+        assert point_segment_distance((13, 4), s) == pytest.approx(5.0)
+
+    def test_on_segment_is_zero(self):
+        s = seg(0, 0, 10, 10)
+        assert point_segment_distance((5, 5), s) == pytest.approx(0.0)
+
+    def test_line_distance_ignores_endpoints(self):
+        s = seg(0, 0, 10, 0)
+        assert line_point_distance((100, 3), s) == pytest.approx(3.0)
+
+    def test_line_distance_rejects_degenerate(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            line_point_distance((0, 0), seg(2, 2, 2, 2))
+
+    @settings(max_examples=50, deadline=None)
+    @given(px=coords, py=coords)
+    def test_segment_distance_at_most_endpoint_distance(self, px, py):
+        s = seg(-3, -7, 11, 5)
+        d = point_segment_distance((px, py), s)
+        to_start = np.hypot(px - s.start.x, py - s.start.y)
+        to_end = np.hypot(px - s.end.x, py - s.end.y)
+        assert d <= min(to_start, to_end) + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(px=coords, py=coords)
+    def test_line_distance_at_most_segment_distance(self, px, py):
+        s = seg(-3, -7, 11, 5)
+        assert line_point_distance((px, py), s) <= \
+            point_segment_distance((px, py), s) + 1e-9
+
+
+class TestSegmentsAlmostEqual:
+    def test_equal(self):
+        assert segments_almost_equal(seg(0, 0, 1, 1), seg(0, 0, 1, 1))
+
+    def test_within_tolerance(self):
+        assert segments_almost_equal(
+            seg(0, 0, 1, 1), seg(0, 1e-12, 1, 1)
+        )
+
+    def test_direction_matters(self):
+        assert not segments_almost_equal(seg(0, 0, 1, 1), seg(1, 1, 0, 0))

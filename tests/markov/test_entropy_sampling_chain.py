@@ -1,0 +1,161 @@
+"""Tests for repro.markov.entropy, sampling, and the MarkovChain facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.chain import MarkovChain
+from repro.markov.entropy import entropy_rate, max_entropy_rate, row_entropies
+from repro.markov.sampling import (
+    empirical_transition_matrix,
+    occupation_frequencies,
+    sample_path,
+)
+
+
+class TestEntropy:
+    def test_uniform_chain_attains_log_m(self):
+        matrix = np.full((4, 4), 0.25)
+        assert entropy_rate(matrix) == pytest.approx(np.log(4))
+
+    def test_deterministic_cycle_zero_entropy(self):
+        matrix = np.array([
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 0.0],
+        ])
+        # Periodic but stationary-solvable; entropy of deterministic
+        # transitions is zero.
+        assert entropy_rate(matrix) == pytest.approx(0.0)
+
+    def test_row_entropies_handle_zeros(self):
+        rows = row_entropies(np.array([[1.0, 0.0], [0.5, 0.5]]))
+        assert rows[0] == pytest.approx(0.0)
+        assert rows[1] == pytest.approx(np.log(2))
+
+    def test_bounds(self, rng):
+        for _ in range(10):
+            matrix = rng.dirichlet(np.ones(5), size=5)
+            h = entropy_rate(matrix)
+            assert -1e-12 <= h <= max_entropy_rate(5) + 1e-12
+
+    def test_max_entropy_rate_validates(self):
+        with pytest.raises(ValueError, match="size"):
+            max_entropy_rate(0)
+
+    def test_pi_shape_validated(self):
+        with pytest.raises(ValueError, match="pi"):
+            entropy_rate(np.full((3, 3), 1 / 3), pi=np.ones(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.dirichlet(np.ones(4), size=4)
+        assert -1e-12 <= entropy_rate(matrix) <= np.log(4) + 1e-12
+
+
+class TestSampling:
+    def test_path_length(self, rng):
+        matrix = np.full((3, 3), 1 / 3)
+        path = sample_path(matrix, 100, seed=rng)
+        assert path.shape == (101,)
+
+    def test_start_state_respected(self):
+        matrix = np.full((3, 3), 1 / 3)
+        path = sample_path(matrix, 10, start=2, seed=0)
+        assert path[0] == 2
+
+    def test_deterministic_with_seed(self):
+        matrix = np.full((4, 4), 0.25)
+        a = sample_path(matrix, 50, start=0, seed=9)
+        b = sample_path(matrix, 50, start=0, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_deterministic_chain_path(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        path = sample_path(matrix, 5, start=0, seed=0)
+        np.testing.assert_array_equal(path, [0, 1, 0, 1, 0, 1])
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError, match="stochastic"):
+            sample_path(np.ones((2, 2)), 5)
+
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ValueError, match="steps"):
+            sample_path(np.full((2, 2), 0.5), -1)
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(ValueError, match="start"):
+            sample_path(np.full((2, 2), 0.5), 5, start=7)
+
+    def test_occupation_converges_to_stationary(self):
+        matrix = np.array([[0.9, 0.1], [0.3, 0.7]])
+        path = sample_path(matrix, 200_000, seed=4)
+        freq = occupation_frequencies(path, 2)
+        np.testing.assert_allclose(freq, [0.75, 0.25], atol=0.01)
+
+    def test_empirical_matrix_recovers_transitions(self):
+        matrix = np.array([[0.8, 0.2], [0.4, 0.6]])
+        path = sample_path(matrix, 200_000, seed=5)
+        estimate = empirical_transition_matrix(path, 2)
+        np.testing.assert_allclose(estimate, matrix, atol=0.01)
+
+    def test_empirical_matrix_validates(self):
+        with pytest.raises(ValueError, match="path"):
+            empirical_transition_matrix(np.array([1]), 2)
+        with pytest.raises(ValueError, match="outside"):
+            empirical_transition_matrix(np.array([0, 5]), 2)
+
+    def test_occupation_validates(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            occupation_frequencies(np.array([]), 2)
+
+
+class TestMarkovChainFacade:
+    def test_validates_on_construction(self):
+        reducible = np.array([[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            MarkovChain(reducible)
+
+    def test_skip_validation(self):
+        chain = MarkovChain(np.full((3, 3), 1 / 3), validate=False)
+        assert chain.size == 3
+
+    def test_matrix_read_only(self, random_ergodic_matrix):
+        chain = MarkovChain(random_ergodic_matrix)
+        with pytest.raises(ValueError):
+            chain.matrix[0, 0] = 0.5
+
+    def test_cached_quantities_consistent(self, random_ergodic_matrix):
+        chain = MarkovChain(random_ergodic_matrix)
+        np.testing.assert_allclose(
+            chain.stationary @ chain.matrix, chain.stationary, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            np.diag(chain.first_passage), 1.0 / chain.stationary,
+            atol=1e-8,
+        )
+        # Eq. (7) through the facade's own caches.
+        np.testing.assert_allclose(
+            chain.fundamental,
+            np.eye(chain.size) + chain.matrix @ chain.group_inverse,
+            atol=1e-9,
+        )
+
+    def test_entropy_property(self, random_ergodic_matrix):
+        chain = MarkovChain(random_ergodic_matrix)
+        assert 0.0 <= chain.entropy_rate <= np.log(chain.size)
+
+    def test_with_matrix_returns_new(self, random_ergodic_matrix):
+        chain = MarkovChain(random_ergodic_matrix)
+        other = chain.with_matrix(np.full((5, 5), 0.2))
+        assert other is not chain
+        assert other.size == 5
+
+    def test_sample_delegates(self, random_ergodic_matrix):
+        chain = MarkovChain(random_ergodic_matrix)
+        path = chain.sample(10, start=0, seed=1)
+        assert path.shape == (11,)
+        assert path[0] == 0

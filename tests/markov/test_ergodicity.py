@@ -1,0 +1,112 @@
+"""Tests for repro.markov.ergodicity."""
+
+import numpy as np
+import pytest
+
+from repro.markov.ergodicity import (
+    is_aperiodic,
+    is_ergodic,
+    is_irreducible,
+    period_of_state,
+    require_ergodic,
+    transition_graph,
+)
+
+
+@pytest.fixture
+def two_block():
+    """Reducible: two disconnected 2-state blocks."""
+    return np.array([
+        [0.5, 0.5, 0.0, 0.0],
+        [0.5, 0.5, 0.0, 0.0],
+        [0.0, 0.0, 0.5, 0.5],
+        [0.0, 0.0, 0.5, 0.5],
+    ])
+
+
+@pytest.fixture
+def cycle():
+    """Periodic: deterministic 3-cycle."""
+    return np.array([
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+        [1.0, 0.0, 0.0],
+    ])
+
+
+class TestTransitionGraph:
+    def test_edges(self):
+        graph = transition_graph(np.array([[0.5, 0.5], [1.0, 0.0]]))
+        assert graph == [[0, 1], [0]]
+
+    def test_tolerance(self):
+        graph = transition_graph(
+            np.array([[1.0 - 1e-20, 1e-20], [0.5, 0.5]])
+        )
+        assert graph[0] == [0]
+
+
+class TestIrreducibility:
+    def test_uniform_is_irreducible(self):
+        assert is_irreducible(np.full((3, 3), 1 / 3))
+
+    def test_blocks_are_reducible(self, two_block):
+        assert not is_irreducible(two_block)
+
+    def test_one_way_chain_is_reducible(self):
+        """State 1 is absorbing: 0 -> 1 but never back."""
+        matrix = np.array([[0.5, 0.5], [0.0, 1.0]])
+        assert not is_irreducible(matrix)
+
+    def test_cycle_is_irreducible(self, cycle):
+        assert is_irreducible(cycle)
+
+
+class TestPeriodicity:
+    def test_cycle_period(self, cycle):
+        assert period_of_state(cycle, 0) == 3
+
+    def test_self_loop_aperiodic(self):
+        matrix = np.array([[0.1, 0.9], [1.0, 0.0]])
+        assert is_aperiodic(matrix)
+
+    def test_bipartite_period_two(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert period_of_state(matrix, 0) == 2
+        assert not is_aperiodic(matrix)
+
+    def test_bad_state_rejected(self, cycle):
+        with pytest.raises(ValueError, match="state"):
+            period_of_state(cycle, 5)
+
+
+class TestErgodicity:
+    def test_uniform_is_ergodic(self):
+        assert is_ergodic(np.full((4, 4), 0.25))
+
+    def test_cycle_not_ergodic(self, cycle):
+        assert not is_ergodic(cycle)
+
+    def test_blocks_not_ergodic(self, two_block):
+        assert not is_ergodic(two_block)
+
+    def test_random_positive_matrix_ergodic(self, rng):
+        matrix = rng.dirichlet(np.ones(5), size=5)
+        assert is_ergodic(matrix)
+
+
+class TestRequireErgodic:
+    def test_passes_for_ergodic(self):
+        require_ergodic(np.full((3, 3), 1 / 3))
+
+    def test_message_for_reducible(self, two_block):
+        with pytest.raises(ValueError, match="reducible"):
+            require_ergodic(two_block)
+
+    def test_message_for_periodic(self, cycle):
+        with pytest.raises(ValueError, match="periodic"):
+            require_ergodic(cycle)
+
+    def test_message_for_non_stochastic(self):
+        with pytest.raises(ValueError, match="row-stochastic"):
+            require_ergodic(np.ones((3, 3)))

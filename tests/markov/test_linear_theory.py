@@ -1,0 +1,213 @@
+"""Tests for the Markov linear theory: stationary distributions, group
+inverse, fundamental matrix, and first-passage times.
+
+These are the closed-form objects of paper Section III-B; the tests
+cross-validate every quantity through at least two independent routes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.fundamental import (
+    fundamental_and_stationary,
+    fundamental_from_group_inverse,
+    fundamental_matrix,
+)
+from repro.markov.group_inverse import (
+    group_inverse,
+    stationary_projector,
+    verify_group_inverse_axioms,
+)
+from repro.markov.passage import (
+    first_passage_times,
+    first_passage_times_by_solve,
+)
+from repro.markov.stationary import (
+    stationary_distribution,
+    stationary_via_eigen,
+    stationary_via_group_inverse,
+    stationary_via_linear_solve,
+)
+
+
+def random_chain(seed, size=5, floor=0.02):
+    rng = np.random.default_rng(seed)
+    rows = rng.dirichlet(np.ones(size), size=size)
+    return floor + (1 - size * floor) * rows
+
+
+@pytest.fixture
+def chain():
+    return random_chain(7)
+
+
+class TestStationary:
+    def test_is_distribution(self, chain):
+        pi = stationary_via_linear_solve(chain)
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi > 0)
+
+    def test_invariance(self, chain):
+        pi = stationary_via_linear_solve(chain)
+        np.testing.assert_allclose(pi @ chain, pi, atol=1e-12)
+
+    def test_methods_agree(self, chain):
+        reference = stationary_via_linear_solve(chain)
+        np.testing.assert_allclose(
+            stationary_via_eigen(chain), reference, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            stationary_via_group_inverse(chain), reference, atol=1e-9
+        )
+
+    def test_dispatch(self, chain):
+        for method in ("solve", "eigen", "group-inverse"):
+            pi = stationary_distribution(chain, method)
+            assert pi.sum() == pytest.approx(1.0)
+
+    def test_unknown_method(self, chain):
+        with pytest.raises(ValueError, match="unknown method"):
+            stationary_distribution(chain, "nope")
+
+    def test_uniform_chain(self):
+        pi = stationary_via_linear_solve(np.full((4, 4), 0.25))
+        np.testing.assert_allclose(pi, 0.25)
+
+    def test_known_two_state(self):
+        """pi of [[1-a, a], [b, 1-b]] is (b, a)/(a+b)."""
+        a, b = 0.3, 0.2
+        matrix = np.array([[1 - a, a], [b, 1 - b]])
+        pi = stationary_via_linear_solve(matrix)
+        np.testing.assert_allclose(pi, [b / (a + b), a / (a + b)])
+
+    def test_eigen_rejects_non_stochastic(self):
+        with pytest.raises(ValueError, match="eigenvalue"):
+            stationary_via_eigen(np.zeros((3, 3)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_invariance(self, seed):
+        chain = random_chain(seed, size=4)
+        pi = stationary_via_linear_solve(chain)
+        assert np.allclose(pi @ chain, pi, atol=1e-10)
+        assert np.all(pi > 0)
+
+
+class TestGroupInverse:
+    def test_axioms(self, chain):
+        a = np.eye(5) - chain
+        a_sharp = group_inverse(chain)
+        assert verify_group_inverse_axioms(a, a_sharp)
+
+    def test_projector_rows_are_pi(self, chain):
+        """Eq. (5): W = I - A A# has every row equal to pi."""
+        w = stationary_projector(chain)
+        pi = stationary_via_linear_solve(chain)
+        for row in w:
+            np.testing.assert_allclose(row, pi, atol=1e-10)
+
+    def test_axioms_checker_rejects_wrong(self, chain):
+        a = np.eye(5) - chain
+        assert not verify_group_inverse_axioms(a, np.eye(5))
+
+    def test_axioms_checker_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            verify_group_inverse_axioms(np.eye(3), np.eye(4))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_axioms(self, seed):
+        chain = random_chain(seed, size=4)
+        a = np.eye(4) - chain
+        a_sharp = group_inverse(chain)
+        assert verify_group_inverse_axioms(a, a_sharp)
+
+
+class TestFundamental:
+    def test_definition(self, chain):
+        """Z (I - P + W) = I."""
+        z, pi = fundamental_and_stationary(chain)
+        w = np.tile(pi, (5, 1))
+        np.testing.assert_allclose(
+            z @ (np.eye(5) - chain + w), np.eye(5), atol=1e-10
+        )
+
+    def test_eq7_relation(self, chain):
+        """Eq. (7): Z = I + P A#."""
+        z = fundamental_matrix(chain)
+        a_sharp = group_inverse(chain)
+        np.testing.assert_allclose(
+            z, fundamental_from_group_inverse(chain, a_sharp), atol=1e-10
+        )
+
+    def test_rows_sum_to_one(self, chain):
+        """Z 1 = 1 (since (I - P + W) 1 = 1)."""
+        z = fundamental_matrix(chain)
+        np.testing.assert_allclose(z.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_pi_z_is_pi(self, chain):
+        z, pi = fundamental_and_stationary(chain)
+        np.testing.assert_allclose(pi @ z, pi, atol=1e-10)
+
+    def test_rejects_bad_pi_shape(self, chain):
+        with pytest.raises(ValueError, match="pi"):
+            fundamental_matrix(chain, pi=np.ones(3))
+
+
+class TestFirstPassage:
+    def test_matches_first_step_analysis(self, chain):
+        via_z = first_passage_times(chain)
+        via_solve = first_passage_times_by_solve(chain)
+        np.testing.assert_allclose(via_z, via_solve, atol=1e-8)
+
+    def test_kac_formula(self, chain):
+        """R_ii = 1 / pi_i."""
+        r = first_passage_times(chain)
+        pi = stationary_via_linear_solve(chain)
+        np.testing.assert_allclose(np.diag(r), 1.0 / pi, atol=1e-8)
+
+    def test_positive(self, chain):
+        assert np.all(first_passage_times(chain) > 0)
+
+    def test_first_step_equation(self, chain):
+        """R_ij = 1 + sum_{k != j} p_ik R_kj for i != j."""
+        r = first_passage_times(chain)
+        for i in range(5):
+            for j in range(5):
+                if i == j:
+                    continue
+                expected = 1.0 + sum(
+                    chain[i, k] * r[k, j] for k in range(5) if k != j
+                )
+                assert r[i, j] == pytest.approx(expected, abs=1e-8)
+
+    def test_two_state_closed_form(self):
+        """R_01 = 1/a for [[1-a, a], [b, 1-b]]."""
+        a, b = 0.25, 0.4
+        matrix = np.array([[1 - a, a], [b, 1 - b]])
+        r = first_passage_times(matrix)
+        assert r[0, 1] == pytest.approx(1.0 / a)
+        assert r[1, 0] == pytest.approx(1.0 / b)
+
+    def test_partial_cache_args_rejected(self, chain):
+        with pytest.raises(ValueError, match="both"):
+            first_passage_times(chain, z=np.eye(5))
+
+    def test_solve_rejects_reducible(self):
+        reducible = np.array([
+            [0.5, 0.5, 0.0],
+            [0.5, 0.5, 0.0],
+            [0.0, 0.0, 1.0],
+        ])
+        with pytest.raises(ValueError, match="singular|irreducible"):
+            first_passage_times_by_solve(reducible)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_consistency(self, seed):
+        chain = random_chain(seed, size=4)
+        via_z = first_passage_times(chain)
+        via_solve = first_passage_times_by_solve(chain)
+        assert np.allclose(via_z, via_solve, atol=1e-7)

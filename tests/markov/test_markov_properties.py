@@ -1,0 +1,113 @@
+"""Property-based Markov theory tests on random chains of varying size.
+
+Each property is a known identity of ergodic finite chains, checked on
+randomly generated transition matrices of sizes 3-7.  Failures here
+would indicate numerical or formula errors in the closed-form machinery
+the whole optimizer rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.entropy import entropy_rate
+from repro.markov.fundamental import fundamental_and_stationary
+from repro.markov.passage import first_passage_times
+from repro.markov.sampling import sample_path
+from repro.markov.stationary import stationary_via_linear_solve
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+chain_params = st.tuples(
+    st.integers(0, 100_000), st.integers(3, 7)
+)
+
+
+def random_chain(seed, size, floor=0.02):
+    rng = np.random.default_rng(seed)
+    rows = rng.dirichlet(np.ones(size), size=size)
+    return floor + (1 - size * floor) * rows
+
+
+@SETTINGS
+@given(params=chain_params)
+def test_kemeny_constant_is_start_independent(params):
+    """sum_j pi_j R_ij (j != i) is the same for every start i."""
+    seed, size = params
+    chain = random_chain(seed, size)
+    pi = stationary_via_linear_solve(chain)
+    r = first_passage_times(chain)
+    totals = [
+        sum(pi[j] * r[i, j] for j in range(size) if j != i)
+        for i in range(size)
+    ]
+    assert max(totals) - min(totals) < 1e-7
+
+
+@SETTINGS
+@given(params=chain_params)
+def test_passage_times_satisfy_triangle_like_bound(params):
+    """R_ij <= R_ik + R_kj (first-passage 'triangle inequality')."""
+    seed, size = params
+    chain = random_chain(seed, size)
+    r = first_passage_times(chain)
+    for i in range(size):
+        for j in range(size):
+            if i == j:
+                continue
+            for k in range(size):
+                if k in (i, j):
+                    continue
+                assert r[i, j] <= r[i, k] + r[k, j] + 1e-7
+
+
+@SETTINGS
+@given(params=chain_params)
+def test_fundamental_matrix_row_sums(params):
+    """Z 1 = 1 and pi Z = pi for every ergodic chain."""
+    seed, size = params
+    chain = random_chain(seed, size)
+    z, pi = fundamental_and_stationary(chain)
+    assert np.allclose(z.sum(axis=1), 1.0, atol=1e-9)
+    assert np.allclose(pi @ z, pi, atol=1e-9)
+
+
+@SETTINGS
+@given(params=chain_params)
+def test_entropy_rate_below_stationary_entropy_of_rows(params):
+    """H(chain) <= max_i H(row_i) (it is a pi-average of row entropies)."""
+    seed, size = params
+    chain = random_chain(seed, size)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        row_h = -np.where(chain > 0, chain * np.log(chain), 0).sum(axis=1)
+    h = entropy_rate(chain)
+    assert h <= row_h.max() + 1e-12
+    assert h >= row_h.min() - 1e-12
+
+
+@SETTINGS
+@given(params=chain_params)
+def test_time_reversal_shares_stationary_distribution(params):
+    """The reversed chain P*_ij = pi_j p_ji / pi_i has the same pi."""
+    seed, size = params
+    chain = random_chain(seed, size)
+    pi = stationary_via_linear_solve(chain)
+    reversed_chain = (pi[None, :] * chain.T) / pi[:, None]
+    assert np.allclose(reversed_chain.sum(axis=1), 1.0, atol=1e-9)
+    pi_reversed = stationary_via_linear_solve(reversed_chain)
+    assert np.allclose(pi_reversed, pi, atol=1e-8)
+
+
+@SETTINGS
+@given(seed=st.integers(0, 100_000))
+def test_sampled_return_times_match_kac(seed):
+    """Empirical mean return time to a state approaches 1/pi_i."""
+    chain = random_chain(seed, 3, floor=0.1)
+    pi = stationary_via_linear_solve(chain)
+    path = sample_path(chain, 60_000, start=0, seed=seed)
+    visits = np.nonzero(path == 0)[0]
+    if visits.size < 100:
+        return  # extremely unlikely with floor=0.1; skip if degenerate
+    mean_return = float(np.diff(visits).mean())
+    assert mean_return == pytest.approx(1.0 / pi[0], rel=0.1)

@@ -1,0 +1,118 @@
+"""Tests for repro.markov.perturbation (Schweitzer derivative formulas).
+
+The directional derivatives are validated against central finite
+differences; the adjoint operators are validated against the directional
+forms via the defining inner-product identities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.markov.fundamental import fundamental_matrix
+from repro.markov.perturbation import (
+    adjoint_fundamental_term,
+    adjoint_stationary_term,
+    fundamental_derivative,
+    stationary_derivative,
+)
+from repro.markov.stationary import stationary_via_linear_solve
+from tests.conftest import random_zero_rowsum_direction
+
+
+@pytest.fixture
+def setup(rng):
+    matrix = 0.02 + 0.9 * rng.dirichlet(np.ones(5), size=5)
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    pi = stationary_via_linear_solve(matrix)
+    z = fundamental_matrix(matrix, pi)
+    return matrix, pi, z
+
+
+class TestDirectionalDerivatives:
+    def test_stationary_matches_finite_difference(self, setup, rng):
+        matrix, pi, z = setup
+        h = 1e-7
+        for _ in range(3):
+            dp = random_zero_rowsum_direction(rng, 5)
+            numeric = (
+                stationary_via_linear_solve(matrix + h * dp)
+                - stationary_via_linear_solve(matrix - h * dp)
+            ) / (2 * h)
+            analytic = stationary_derivative(pi, z, dp)
+            np.testing.assert_allclose(numeric, analytic, atol=1e-5)
+
+    def test_fundamental_matches_finite_difference(self, setup, rng):
+        matrix, pi, z = setup
+        h = 1e-7
+        for _ in range(3):
+            dp = random_zero_rowsum_direction(rng, 5)
+            numeric = (
+                fundamental_matrix(matrix + h * dp)
+                - fundamental_matrix(matrix - h * dp)
+            ) / (2 * h)
+            analytic = fundamental_derivative(pi, z, dp)
+            np.testing.assert_allclose(numeric, analytic, atol=1e-4)
+
+    def test_stationary_derivative_sums_to_zero(self, setup, rng):
+        """d(sum pi)/dt = 0 along any stochastic path."""
+        matrix, pi, z = setup
+        dp = random_zero_rowsum_direction(rng, 5)
+        assert stationary_derivative(pi, z, dp).sum() \
+            == pytest.approx(0.0, abs=1e-10)
+
+    def test_zero_direction_gives_zero(self, setup):
+        matrix, pi, z = setup
+        np.testing.assert_array_equal(
+            stationary_derivative(pi, z, np.zeros((5, 5))), np.zeros(5)
+        )
+        np.testing.assert_array_equal(
+            fundamental_derivative(pi, z, np.zeros((5, 5))),
+            np.zeros((5, 5)),
+        )
+
+    def test_linearity(self, setup, rng):
+        matrix, pi, z = setup
+        d1 = random_zero_rowsum_direction(rng, 5)
+        d2 = random_zero_rowsum_direction(rng, 5)
+        combined = stationary_derivative(pi, z, 2.0 * d1 + 3.0 * d2)
+        split = (
+            2.0 * stationary_derivative(pi, z, d1)
+            + 3.0 * stationary_derivative(pi, z, d2)
+        )
+        np.testing.assert_allclose(combined, split, atol=1e-12)
+
+
+class TestAdjoints:
+    def test_stationary_adjoint_identity(self, setup, rng):
+        """<grad_pi, dpi(dP)> == <G, dP> for all dP."""
+        matrix, pi, z = setup
+        grad_pi = rng.normal(size=5)
+        adjoint = adjoint_stationary_term(pi, z, grad_pi)
+        for _ in range(4):
+            dp = rng.normal(size=(5, 5))
+            lhs = float(grad_pi @ stationary_derivative(pi, z, dp))
+            rhs = float(np.sum(adjoint * dp))
+            assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-12)
+
+    def test_fundamental_adjoint_identity(self, setup, rng):
+        """<grad_z, dZ(dP)> == <G, dP> for all dP."""
+        matrix, pi, z = setup
+        grad_z = rng.normal(size=(5, 5))
+        adjoint = adjoint_fundamental_term(pi, z, grad_z)
+        for _ in range(4):
+            dp = rng.normal(size=(5, 5))
+            lhs = float(np.sum(grad_z * fundamental_derivative(pi, z, dp)))
+            rhs = float(np.sum(adjoint * dp))
+            assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-12)
+
+    def test_adjoint_matches_paper_eq10_brackets(self, setup):
+        """Spot-check Eq. (10)'s first bracket: pi_k (Z grad)_l."""
+        matrix, pi, z = setup
+        grad_pi = np.arange(1.0, 6.0)
+        adjoint = adjoint_stationary_term(pi, z, grad_pi)
+        for k in range(5):
+            for l in range(5):
+                expected = pi[k] * sum(
+                    z[l, i] * grad_pi[i] for i in range(5)
+                )
+                assert adjoint[k, l] == pytest.approx(expected)

@@ -1,0 +1,185 @@
+"""Tests for repro.simulation.engine.
+
+The decisive checks compare long-run simulated averages against the
+closed-form quantities of Section III — coverage shares (Eq. 2) and
+exposure times (Eq. 3) — which ties the whole pipeline together.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostWeights,
+    CoverageCost,
+    SimulationOptions,
+    paper_topology,
+    simulate_schedule,
+    uniform_matrix,
+)
+from repro.core.state import ChainState
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return paper_topology(3)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(3)
+    m = 0.05 + 0.8 * rng.dirichlet(np.ones(4), size=4)
+    return m / m.sum(axis=1, keepdims=True)
+
+
+@pytest.fixture(scope="module")
+def long_run(topology, matrix):
+    return simulate_schedule(
+        topology, matrix, transitions=150_000, seed=42,
+        options=SimulationOptions(warmup=1000),
+    )
+
+
+class TestValidation:
+    def test_rejects_size_mismatch(self, topology):
+        with pytest.raises(ValueError, match="size"):
+            simulate_schedule(topology, uniform_matrix(3), 100)
+
+    def test_rejects_non_stochastic(self, topology):
+        with pytest.raises(ValueError, match="stochastic"):
+            simulate_schedule(topology, np.ones((4, 4)), 100)
+
+    def test_rejects_zero_transitions(self, topology):
+        with pytest.raises(ValueError, match="transitions"):
+            simulate_schedule(topology, uniform_matrix(4), 0)
+
+    def test_rejects_bad_start(self, topology):
+        with pytest.raises(ValueError, match="start_state"):
+            simulate_schedule(
+                topology, uniform_matrix(4), 10,
+                options=SimulationOptions(start_state=9),
+            )
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError, match="warmup"):
+            SimulationOptions(warmup=-1)
+
+
+class TestBasicBehavior:
+    def test_deterministic_given_seed(self, topology, matrix):
+        a = simulate_schedule(topology, matrix, 500, seed=7)
+        b = simulate_schedule(topology, matrix, 500, seed=7)
+        assert a.total_time == b.total_time
+        np.testing.assert_array_equal(a.visit_counts, b.visit_counts)
+
+    def test_record_path(self, topology, matrix):
+        result = simulate_schedule(
+            topology, matrix, 100, seed=1,
+            options=SimulationOptions(record_path=True, start_state=2),
+        )
+        assert result.path.shape == (101,)
+        assert result.path[0] == 2
+        assert result.start_state == 2
+        assert result.end_state == result.path[-1]
+
+    def test_no_path_by_default(self, topology, matrix):
+        result = simulate_schedule(topology, matrix, 100, seed=1)
+        assert result.path is None
+
+    def test_time_accounting(self, topology, matrix):
+        result = simulate_schedule(
+            topology, matrix, 200, seed=2,
+            options=SimulationOptions(record_path=True),
+        )
+        travel = topology.travel_times
+        expected = sum(
+            travel[result.path[n], result.path[n + 1]]
+            for n in range(200)
+        )
+        assert result.total_time == pytest.approx(expected)
+
+    def test_visit_counts_sum(self, topology, matrix):
+        result = simulate_schedule(topology, matrix, 300, seed=3)
+        assert result.visit_counts.sum() == 300
+
+    def test_occupancy_is_distribution(self, topology, matrix):
+        result = simulate_schedule(topology, matrix, 300, seed=3)
+        assert result.occupancy.sum() == pytest.approx(1.0)
+
+    def test_summary_renders(self, topology, matrix):
+        text = simulate_schedule(topology, matrix, 50, seed=0).summary()
+        assert "N=50" in text
+
+
+class TestConvergenceToAnalytic:
+    def test_coverage_shares_match_eq2(self, topology, matrix, long_run):
+        cost = CoverageCost(topology, CostWeights())
+        analytic = cost.coverage_shares(matrix)
+        np.testing.assert_allclose(
+            long_run.coverage_shares, analytic, atol=5e-3
+        )
+
+    def test_occupancy_matches_stationary(
+        self, topology, matrix, long_run
+    ):
+        state = ChainState.from_matrix(matrix)
+        np.testing.assert_allclose(
+            long_run.occupancy, state.pi, atol=5e-3
+        )
+
+    def test_exposure_transitions_match_eq3(
+        self, topology, matrix, long_run
+    ):
+        state = ChainState.from_matrix(matrix)
+        analytic = state.exposure_times()
+        np.testing.assert_allclose(
+            long_run.exposure_transitions, analytic, rtol=0.05
+        )
+
+    def test_delta_c_matches_eq12(self, topology, matrix, long_run):
+        cost = CoverageCost(topology, CostWeights())
+        analytic = cost.delta_c(matrix)
+        assert long_run.delta_c == pytest.approx(analytic, rel=0.05)
+
+    def test_e_bar_transitions_matches_eq13(
+        self, topology, matrix, long_run
+    ):
+        cost = CoverageCost(topology, CostWeights())
+        analytic = cost.e_bar(matrix)
+        assert long_run.e_bar_transitions \
+            == pytest.approx(analytic, rel=0.05)
+
+    def test_physical_exposure_close_to_transition_exposure(
+        self, topology, matrix, long_run
+    ):
+        """The physical measurement (variable durations, pass-by
+        interruptions) lands near the transition-count one but not
+        exactly on it — the paper's Section VI-D observation."""
+        ratio = (
+            long_run.e_bar_physical_normalized
+            / long_run.e_bar_transitions
+        )
+        assert 0.5 < ratio < 2.0
+
+    def test_physical_coverage_exceeds_schedule_coverage(
+        self, topology, matrix, long_run
+    ):
+        """Physically the sensor also covers the origin while departing
+        and the destination while approaching, which the schedule
+        convention does not credit."""
+        assert long_run.physical_coverage_shares.sum() \
+            > long_run.coverage_shares.sum()
+
+
+class TestWarmup:
+    def test_warmup_changes_start(self, topology, matrix):
+        cold = simulate_schedule(
+            topology, matrix, 50, seed=9,
+            options=SimulationOptions(start_state=0, warmup=0),
+        )
+        warm = simulate_schedule(
+            topology, matrix, 50, seed=9,
+            options=SimulationOptions(start_state=0, warmup=100),
+        )
+        assert cold.start_state == 0
+        # After warmup the start state is whatever the chain reached.
+        assert warm.transitions == cold.transitions

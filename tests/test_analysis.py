@@ -1,0 +1,219 @@
+"""Tests for repro.analysis (pareto, mixing, convergence)."""
+
+import numpy as np
+import pytest
+
+from repro import paper_topology, uniform_matrix
+from repro.analysis.convergence import (
+    detect_plateau,
+    iterations_to_tolerance,
+    summarize_trace,
+)
+from repro.analysis.mixing import (
+    kemeny_constant,
+    mixing_time_bound,
+    relaxation_time,
+)
+from repro.analysis.pareto import (
+    TradeoffPoint,
+    pareto_filter,
+    tradeoff_curve,
+)
+from repro.core.state import ChainState
+
+
+def point(dc, e, beta=1.0):
+    return TradeoffPoint(
+        beta=beta, delta_c=dc, e_bar=e, mean_travel=0.0,
+        matrix=np.eye(2),
+    )
+
+
+class TestTradeoffPoint:
+    def test_dominates_strictly_better(self):
+        assert point(1.0, 1.0).dominates(point(2.0, 2.0))
+
+    def test_no_domination_on_tradeoff(self):
+        a, b = point(1.0, 3.0), point(3.0, 1.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a, b = point(1.0, 1.0), point(1.0, 1.0)
+        assert not a.dominates(b)
+
+
+class TestParetoFilter:
+    def test_removes_dominated(self):
+        points = [point(1.0, 3.0), point(3.0, 1.0), point(4.0, 4.0)]
+        efficient = pareto_filter(points)
+        assert len(efficient) == 2
+        assert all(p.delta_c < 4.0 for p in efficient)
+
+    def test_sorted_by_delta_c(self):
+        points = [point(3.0, 1.0), point(1.0, 3.0)]
+        efficient = pareto_filter(points)
+        assert efficient[0].delta_c == 1.0
+
+    def test_all_efficient_when_tradeoff(self):
+        points = [point(1.0, 4.0), point(2.0, 3.0), point(3.0, 2.0)]
+        assert len(pareto_filter(points)) == 3
+
+
+class TestTradeoffCurve:
+    def test_sweep_shape(self):
+        topology = paper_topology(1)
+        points = tradeoff_curve(
+            topology, betas=[1.0, 1e-4], iterations=60, seed=0
+        )
+        assert len(points) == 2
+        # Smaller beta gives (weakly) smaller dC and larger E-bar.
+        assert points[1].delta_c < points[0].delta_c
+        assert points[1].e_bar > points[0].e_bar
+        assert points[1].mean_travel < points[0].mean_travel
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            tradeoff_curve(
+                paper_topology(1), betas=[-1.0], iterations=10
+            )
+
+
+class TestMixing:
+    def test_uniform_chain_relaxes_instantly(self):
+        assert relaxation_time(uniform_matrix(4)) == pytest.approx(1.0)
+
+    def test_lazy_chain_relaxes_slowly(self):
+        lazy = 0.999 * np.eye(3) + 0.001 * uniform_matrix(3)
+        assert relaxation_time(lazy) > 100.0
+
+    def test_periodic_chain_never_relaxes(self):
+        flip = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert relaxation_time(flip) == np.inf
+        assert mixing_time_bound(flip) == np.inf
+
+    def test_mixing_bound_scales_with_accuracy(self):
+        matrix = np.array([[0.9, 0.1], [0.2, 0.8]])
+        loose = mixing_time_bound(matrix, accuracy=0.25)
+        tight = mixing_time_bound(matrix, accuracy=0.01)
+        assert tight > loose
+
+    def test_mixing_bound_validates_accuracy(self):
+        with pytest.raises(ValueError, match="accuracy"):
+            mixing_time_bound(uniform_matrix(3), accuracy=1.5)
+
+    def test_kemeny_is_trace_identity(self, rng):
+        matrix = rng.dirichlet(np.ones(5), size=5)
+        k = kemeny_constant(matrix)
+        # K = sum_{j != i} pi_j R_ij, the same for every start i.
+        state = ChainState.from_matrix(matrix)
+        r = state.r
+        for i in range(5):
+            total = sum(
+                state.pi[j] * r[i, j] for j in range(5) if j != i
+            )
+            assert total == pytest.approx(k, rel=1e-8)
+
+    def test_kemeny_uniform_chain(self):
+        # For the uniform chain, Z = I so K = trace(I) - 1 = M - 1.
+        assert kemeny_constant(uniform_matrix(4)) == pytest.approx(3.0)
+
+
+class TestConvergence:
+    def test_iterations_to_tolerance(self):
+        trace = np.array([10.0, 6.0, 3.0, 1.0, 0.5, 0.0])
+        assert iterations_to_tolerance(trace, 0.5) == 2
+        # remaining fractions are [1, .6, .3, .1, .05, 0]: 0.1 first
+        # reached at index 3 (boundary counts).
+        assert iterations_to_tolerance(trace, 0.1) == 3
+
+    def test_flat_trace_returns_none(self):
+        assert iterations_to_tolerance(np.ones(10), 0.5) is None
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError, match="fraction"):
+            iterations_to_tolerance(np.arange(5.0)[::-1], 2.0)
+
+    def test_detect_plateau(self):
+        trace = np.concatenate(
+            [np.linspace(10, 1, 50), np.full(100, 1.0)]
+        )
+        plateau = detect_plateau(trace, window=20, rtol=1e-9)
+        assert plateau is not None
+        assert 30 <= plateau <= 60
+
+    def test_no_plateau_in_steady_descent(self):
+        trace = np.linspace(10, 0, 100)
+        assert detect_plateau(trace, window=10, rtol=1e-9) is None
+
+    def test_plateau_window_validated(self):
+        with pytest.raises(ValueError, match="window"):
+            detect_plateau(np.ones(5), window=0)
+
+    def test_summary_fields(self):
+        trace = np.array([8.0, 4.0, 2.0, 1.0, 1.0, 1.0])
+        summary = summarize_trace(trace, plateau_window=2, rtol=1e-9) \
+            if False else summarize_trace(trace, plateau_window=2)
+        assert summary.initial == 8.0
+        assert summary.best == 1.0
+        assert summary.total_improvement == 7.0
+        assert summary.iterations == 6
+        assert summary.iterations_to_half == 1
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            summarize_trace(np.array([]))
+
+
+class TestWeightSensitivity:
+    def test_envelope_matches_finite_difference(self):
+        from repro import (CostWeights, CoverageCost, PerturbedOptions,
+                           optimize_perturbed, paper_topology)
+        from repro.analysis.sensitivity import verify_envelope
+
+        topology = paper_topology(1)
+        cost = CoverageCost(topology, CostWeights(alpha=1.0, beta=0.5))
+        result = optimize_perturbed(
+            cost, seed=0,
+            options=PerturbedOptions(max_iterations=60,
+                                     trisection_rounds=15),
+        )
+        report = verify_envelope(
+            topology, 1.0, 0.5, result.best_matrix
+        )
+        assert report["numeric_alpha"] == pytest.approx(
+            report["analytic_alpha"], rel=1e-6
+        )
+        assert report["numeric_beta"] == pytest.approx(
+            report["analytic_beta"], rel=1e-6
+        )
+
+    def test_values_are_half_metrics(self):
+        from repro import CostWeights, CoverageCost, paper_topology, \
+            uniform_matrix
+        from repro.analysis.sensitivity import weight_sensitivity
+
+        cost = CoverageCost(paper_topology(1), CostWeights())
+        matrix = uniform_matrix(4)
+        s = weight_sensitivity(cost, matrix)
+        assert s.d_alpha == pytest.approx(0.5 * cost.delta_c(matrix))
+        assert s.d_beta == pytest.approx(0.5 * cost.e_bar(matrix) ** 2)
+        assert s.exchange_rate == pytest.approx(s.d_alpha / s.d_beta)
+
+    def test_rejects_per_poi_weights(self):
+        from repro import CostWeights, CoverageCost, paper_topology, \
+            uniform_matrix
+        from repro.analysis.sensitivity import weight_sensitivity
+
+        cost = CoverageCost(
+            paper_topology(1),
+            CostWeights(alpha=[1.0, 1.0, 1.0, 1.0]),
+        )
+        with pytest.raises(ValueError, match="scalar"):
+            weight_sensitivity(cost, uniform_matrix(4))
+
+    def test_zero_exposure_weight_exchange_rate(self):
+        from repro.analysis.sensitivity import WeightSensitivity
+
+        s = WeightSensitivity(d_alpha=1.0, d_beta=0.0)
+        assert s.exchange_rate == float("inf")

@@ -1,0 +1,73 @@
+"""Consistency checks between documentation, CLI, and code."""
+
+import pathlib
+
+import pytest
+
+import repro
+import repro.experiments as ex
+from repro.cli import EXPERIMENTS
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestCliRegistry:
+    def test_every_registered_experiment_is_exported(self):
+        for name, function in EXPERIMENTS.items():
+            assert function.__name__ in ex.__all__, (
+                f"CLI experiment {name!r} maps to "
+                f"{function.__name__}, which repro.experiments does "
+                "not export"
+            )
+
+    def test_all_paper_artifacts_registered(self):
+        required = {
+            "table1", "table2", "table3", "table4",
+            "figure2a", "figure2b", "figure3", "figure4",
+            "figure5a", "figure5b", "figure6", "figure7", "figure8",
+        }
+        assert required <= set(EXPERIMENTS)
+
+
+class TestDocsExist:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
+        "docs/math.md",
+    ])
+    def test_file_present_and_nonempty(self, name):
+        path = ROOT / name
+        assert path.exists(), f"{name} missing"
+        assert path.stat().st_size > 200
+
+    def test_design_mentions_every_subpackage(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for subpackage in (
+            "geometry", "topology", "markov", "core", "simulation",
+            "baselines", "experiments", "multisensor", "analysis",
+        ):
+            assert subpackage in design
+
+    def test_readme_quickstart_names_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for name in (
+            "CostWeights", "CoverageCost", "optimize_perturbed",
+            "paper_topology", "simulate_schedule",
+        ):
+            assert name in readme
+            assert hasattr(repro, name)
+
+
+class TestBenchmarkCoverage:
+    def test_one_bench_module_per_paper_artifact(self):
+        bench_dir = ROOT / "benchmarks"
+        names = {p.name for p in bench_dir.glob("test_bench_*.py")}
+        for expected in (
+            "test_bench_table1.py", "test_bench_table2.py",
+            "test_bench_table3.py", "test_bench_table4.py",
+            "test_bench_figure2.py", "test_bench_figure3.py",
+            "test_bench_figure4.py", "test_bench_figure5.py",
+            "test_bench_figure6.py", "test_bench_figure7.py",
+            "test_bench_figure8.py", "test_bench_ablations.py",
+            "test_bench_extensions.py", "test_bench_baselines.py",
+        ):
+            assert expected in names

@@ -1,0 +1,213 @@
+"""Edge cases and failure injection across the pipeline.
+
+Scenarios outside the benchmarks' happy path: per-PoI weights,
+asymmetric pause times, minimal and larger-than-paper topologies, and
+malformed inputs reaching the optimizers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostWeights,
+    CoverageCost,
+    PerturbedOptions,
+    SimulationOptions,
+    Topology,
+    grid_topology,
+    line_topology,
+    optimize_adaptive,
+    optimize_perturbed,
+    simulate_schedule,
+    uniform_matrix,
+)
+from repro.core.state import ChainState
+from tests.conftest import random_zero_rowsum_direction
+
+
+class TestPerPoiWeights:
+    def test_cost_accepts_weight_arrays(self):
+        topology = line_topology(
+            3, target_shares=[0.5, 0.25, 0.25]
+        )
+        cost = CoverageCost(
+            topology,
+            CostWeights(alpha=[2.0, 1.0, 0.5], beta=[0.1, 1.0, 0.1]),
+        )
+        value = cost.value(uniform_matrix(3))
+        assert np.isfinite(value) and value > 0
+
+    def test_gradient_check_with_weight_arrays(self, rng):
+        topology = line_topology(3, target_shares=[0.5, 0.25, 0.25])
+        cost = CoverageCost(
+            topology,
+            CostWeights(alpha=[2.0, 1.0, 0.5], beta=[0.1, 1.0, 0.1]),
+        )
+        matrix = 0.1 + 0.6 * rng.dirichlet(np.ones(3), size=3)
+        matrix /= matrix.sum(axis=1, keepdims=True)
+        state = ChainState.from_matrix(matrix)
+        from repro.core.gradient import directional_derivative
+
+        h = 1e-7
+        direction = random_zero_rowsum_direction(rng, 3)
+        numeric = (
+            cost.value(matrix + h * direction)
+            - cost.value(matrix - h * direction)
+        ) / (2 * h)
+        analytic = directional_derivative(state, cost.terms, direction)
+        assert numeric == pytest.approx(analytic, rel=1e-4, abs=1e-7)
+
+    def test_zero_alpha_on_one_poi_ignores_its_deviation(self):
+        """A PoI with alpha_i = 0 contributes nothing to the coverage
+        term no matter how badly it misses its target."""
+        topology = line_topology(3, target_shares=[0.8, 0.1, 0.1])
+        cost = CoverageCost(
+            topology, CostWeights(alpha=[0.0, 1.0, 1.0], beta=0.0)
+        )
+        full = CoverageCost(
+            topology, CostWeights(alpha=1.0, beta=0.0)
+        )
+        matrix = uniform_matrix(3)
+        assert cost.value(matrix) < full.value(matrix)
+
+    def test_optimizer_runs_with_weight_arrays(self):
+        topology = line_topology(3, target_shares=[0.5, 0.25, 0.25])
+        cost = CoverageCost(
+            topology, CostWeights(alpha=[1.0, 2.0, 1.0], beta=0.5)
+        )
+        result = optimize_perturbed(
+            cost, seed=0,
+            options=PerturbedOptions(max_iterations=25,
+                                     trisection_rounds=12),
+        )
+        assert np.isfinite(result.best_u_eps)
+
+
+class TestAsymmetricPauses:
+    @pytest.fixture
+    def topology(self):
+        return Topology(
+            positions=[(0, 0), (100, 0), (200, 0)],
+            target_shares=[0.5, 0.25, 0.25],
+            sensing_radius=30.0,
+            pause_times=[30.0, 5.0, 5.0],
+        )
+
+    def test_travel_times_reflect_destination_pause(self, topology):
+        travel = topology.travel_times
+        assert travel[1, 0] == pytest.approx(10.0 + 30.0)
+        assert travel[0, 1] == pytest.approx(10.0 + 5.0)
+
+    def test_simulation_time_accounting(self, topology):
+        result = simulate_schedule(
+            topology, uniform_matrix(3), transitions=500, seed=0,
+            options=SimulationOptions(record_path=True),
+        )
+        travel = topology.travel_times
+        expected = sum(
+            travel[result.path[n], result.path[n + 1]]
+            for n in range(500)
+        )
+        assert result.total_time == pytest.approx(expected)
+
+    def test_long_pause_attracts_coverage(self, topology):
+        """Sitting at the long-pause PoI accumulates more coverage per
+        visit, so uniform transitions give it a larger share."""
+        cost = CoverageCost(topology, CostWeights())
+        shares = cost.coverage_shares(uniform_matrix(3))
+        assert shares[0] > shares[1]
+        assert shares[0] > shares[2]
+
+
+class TestMinimalTopology:
+    def test_two_poi_pipeline(self):
+        topology = Topology(
+            positions=[(0, 0), (100, 0)],
+            target_shares=[0.7, 0.3],
+            sensing_radius=20.0,
+        )
+        cost = CoverageCost(topology, CostWeights(alpha=1.0, beta=0.1))
+        result = optimize_adaptive(
+            cost, seed=0,
+            options=__import__("repro").AdaptiveOptions(
+                max_iterations=60, trisection_rounds=15
+            ),
+        )
+        sim = simulate_schedule(
+            topology, result.matrix, transitions=20_000, seed=1
+        )
+        assert sim.coverage_shares[0] > sim.coverage_shares[1]
+
+    def test_two_poi_exposure_identity(self):
+        """With 2 PoIs, E_i = R_ji exactly (only one place to go)."""
+        topology = Topology(
+            positions=[(0, 0), (100, 0)],
+            target_shares=[0.5, 0.5],
+            sensing_radius=20.0,
+        )
+        matrix = np.array([[0.6, 0.4], [0.3, 0.7]])
+        state = ChainState.from_matrix(matrix)
+        exposure = state.exposure_times()
+        r = state.r
+        assert exposure[0] == pytest.approx(r[1, 0])
+        assert exposure[1] == pytest.approx(r[0, 1])
+
+
+class TestLargerTopology:
+    def test_twelve_poi_smoke(self):
+        topology = grid_topology(3, 4)
+        cost = CoverageCost(topology, CostWeights(alpha=1.0, beta=1.0))
+        result = optimize_perturbed(
+            cost, seed=0,
+            options=PerturbedOptions(max_iterations=20,
+                                     trisection_rounds=10),
+        )
+        assert np.isfinite(result.best_u_eps)
+        assert result.best_matrix.shape == (12, 12)
+
+    def test_batch_values_scale(self):
+        topology = grid_topology(3, 4)
+        cost = CoverageCost(topology, CostWeights())
+        rng = np.random.default_rng(0)
+        stack = np.array(
+            [rng.dirichlet(np.ones(12), size=12) for _ in range(8)]
+        )
+        batch = cost.batch_values(stack)
+        scalar = np.array([cost.value(m) for m in stack])
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+
+
+class TestFailureInjection:
+    def test_optimizer_rejects_non_ergodic_initial(self, cost_both):
+        blocks = np.array([
+            [0.5, 0.5, 0.0, 0.0],
+            [0.5, 0.5, 0.0, 0.0],
+            [0.0, 0.0, 0.5, 0.5],
+            [0.0, 0.0, 0.5, 0.5],
+        ])
+        with pytest.raises(ValueError):
+            optimize_adaptive(cost_both, initial=blocks)
+
+    def test_optimizer_rejects_non_stochastic_initial(self, cost_both):
+        with pytest.raises(ValueError):
+            optimize_perturbed(cost_both, initial=np.ones((4, 4)))
+
+    def test_cost_rejects_wrong_size_matrix(self, cost_both):
+        with pytest.raises(ValueError):
+            cost_both.value(uniform_matrix(3))
+
+    def test_simulation_rejects_matrix_with_nan(self, topology1):
+        bad = uniform_matrix(4)
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            simulate_schedule(topology1, bad, transitions=10)
+
+    def test_exposure_blows_up_informatively_near_absorbing(
+        self, topology1
+    ):
+        nearly = np.full((4, 4), 1e-14)
+        np.fill_diagonal(nearly, 1.0 - 3e-14)
+        nearly /= nearly.sum(axis=1, keepdims=True)
+        cost = CoverageCost(topology1, CostWeights())
+        with pytest.raises(ValueError, match="p_ii|ergodic"):
+            cost.exposure_times(nearly)

@@ -1,0 +1,101 @@
+"""Golden regression tests: exact numerical values on a fixed input.
+
+These values were computed by the validated implementation (gradients
+finite-difference-checked, closed forms cross-checked against
+independent solvers; see tests/core and tests/markov) and are locked
+here to catch silent formula drift in future changes.  The input is a
+fixed transition matrix on paper Topology 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CostWeights, CoverageCost, paper_topology
+from repro.core.state import ChainState
+
+GOLDEN_P = np.array([
+    [0.40, 0.30, 0.20, 0.10],
+    [0.25, 0.25, 0.25, 0.25],
+    [0.10, 0.20, 0.30, 0.40],
+    [0.05, 0.15, 0.35, 0.45],
+])
+
+GOLDEN_PI = np.array([
+    0.16386554621848748, 0.21008403361344535,
+    0.28991596638655465, 0.3361344537815126,
+])
+
+GOLDEN_EXPOSURES = np.array([
+    8.504273504273502, 5.013333333333333,
+    3.498964803312629, 3.59090909090909,
+])
+
+GOLDEN_COVERAGE = np.array([
+    0.09620932690526979, 0.12334529090419201,
+    0.17021650144778497, 0.19735246544670723,
+])
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return CoverageCost(
+        paper_topology(1), CostWeights(alpha=1.0, beta=1.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def state():
+    return ChainState.from_matrix(GOLDEN_P)
+
+
+class TestGoldenValues:
+    def test_stationary_distribution(self, state):
+        np.testing.assert_allclose(state.pi, GOLDEN_PI, rtol=1e-13)
+
+    def test_cost_value(self, cost, state):
+        assert cost.value(state) == pytest.approx(
+            81.43378056169558, rel=1e-12
+        )
+
+    def test_delta_c(self, cost, state):
+        assert cost.delta_c(state) == pytest.approx(
+            40.2739993827976, rel=1e-12
+        )
+
+    def test_e_bar(self, cost, state):
+        assert cost.e_bar(state) == pytest.approx(
+            11.072197692445414, rel=1e-12
+        )
+
+    def test_coverage_shares(self, cost, state):
+        np.testing.assert_allclose(
+            cost.coverage_shares(state), GOLDEN_COVERAGE, rtol=1e-12
+        )
+
+    def test_exposure_times(self, cost, state):
+        np.testing.assert_allclose(
+            cost.exposure_times(state), GOLDEN_EXPOSURES, rtol=1e-12
+        )
+
+    def test_gradient_entries(self, cost, state):
+        gradient = cost.gradient(state)
+        assert gradient[0, 0] == pytest.approx(
+            124.00270289636529, rel=1e-11
+        )
+        assert gradient[2, 3] == pytest.approx(
+            50.80472587219781, rel=1e-11
+        )
+        assert float(gradient.sum()) == pytest.approx(
+            388.925146314093, rel=1e-11
+        )
+
+    def test_batch_value_agrees_with_golden(self, cost):
+        batch = cost.batch_values(GOLDEN_P[None])
+        assert batch[0] == pytest.approx(
+            81.43378056169558, rel=1e-12
+        )
+
+    def test_kac_on_golden_chain(self, state):
+        np.testing.assert_allclose(
+            np.diag(state.r), 1.0 / GOLDEN_PI, rtol=1e-10
+        )

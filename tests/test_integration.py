@@ -1,0 +1,163 @@
+"""End-to-end integration tests: optimize -> simulate -> verify.
+
+These are the library's acceptance tests: they run the full pipeline a
+downstream user would run and check the paper's headline claims at small
+scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveOptions,
+    CostWeights,
+    CoverageCost,
+    PerturbedOptions,
+    SimulationOptions,
+    optimize_adaptive,
+    optimize_multistart,
+    optimize_perturbed,
+    paper_topology,
+    random_topology,
+    simulate_schedule,
+)
+
+
+class TestOptimizeThenSimulate:
+    def test_combined_objective_pipeline(self):
+        topology = paper_topology(1)
+        cost = CoverageCost(topology, CostWeights(alpha=1.0, beta=1.0))
+        result = optimize_perturbed(
+            cost, seed=0,
+            options=PerturbedOptions(max_iterations=150,
+                                     trisection_rounds=15),
+        )
+        sim = simulate_schedule(
+            topology, result.best_matrix, transitions=60_000, seed=1,
+            options=SimulationOptions(warmup=2000),
+        )
+        # Simulation confirms the analytic metrics of the optimum.
+        assert sim.delta_c == pytest.approx(result.delta_c, rel=0.25,
+                                            abs=0.5)
+        assert sim.e_bar_transitions == pytest.approx(
+            result.e_bar, rel=0.15
+        )
+
+    def test_coverage_objective_reaches_target(self):
+        """alpha=1, beta=0: the optimizer approaches the target
+        allocation (the Table I 1:0 behavior)."""
+        topology = paper_topology(3)
+        cost = CoverageCost(topology, CostWeights(alpha=1.0, beta=0.0))
+        result = optimize_multistart(
+            cost, random_starts=1, seed=0,
+            options=PerturbedOptions(max_iterations=150,
+                                     trisection_rounds=15),
+        )
+        shares = cost.coverage_shares(result.best.best_matrix)
+        np.testing.assert_allclose(
+            shares, topology.target_shares, atol=0.02
+        )
+
+    def test_exposure_objective_moves_constantly(self):
+        """alpha=0, beta=1: the optimum has small self-loops."""
+        topology = paper_topology(1)
+        cost = CoverageCost(topology, CostWeights(alpha=0.0, beta=1.0))
+        result = optimize_perturbed(
+            cost, seed=0,
+            options=PerturbedOptions(max_iterations=250,
+                                     trisection_rounds=15),
+        )
+        assert np.diag(result.best_matrix).max() < 0.2
+
+    def test_weight_tradeoff_direction(self):
+        """Decreasing beta improves dC and worsens E-bar."""
+        topology = paper_topology(1)
+        outcomes = {}
+        for beta in (1.0, 1e-4):
+            cost = CoverageCost(
+                topology, CostWeights(alpha=1.0, beta=beta)
+            )
+            result = optimize_multistart(
+                cost, random_starts=1, seed=0,
+                options=PerturbedOptions(max_iterations=150,
+                                         trisection_rounds=15),
+            )
+            metrics = CoverageCost(topology, CostWeights())
+            outcomes[beta] = (
+                metrics.delta_c(result.best.best_matrix),
+                metrics.e_bar(result.best.best_matrix),
+            )
+        assert outcomes[1e-4][0] < outcomes[1.0][0]
+        assert outcomes[1e-4][1] > outcomes[1.0][1]
+
+
+class TestLocalOptimaStory:
+    def test_perturbed_beats_adaptive_on_average(self):
+        """The paper's central claim at small scale."""
+        topology = paper_topology(1)
+        cost = CoverageCost(topology, CostWeights(alpha=0.0, beta=1.0))
+        adaptive_costs, perturbed_costs = [], []
+        for seed in range(3):
+            adaptive_costs.append(
+                optimize_adaptive(
+                    cost, seed=seed,
+                    options=AdaptiveOptions(max_iterations=150,
+                                            trisection_rounds=15),
+                ).u_eps
+            )
+            perturbed_costs.append(
+                optimize_perturbed(
+                    cost, seed=100 + seed,
+                    options=PerturbedOptions(max_iterations=150,
+                                             trisection_rounds=15),
+                ).best_u_eps
+            )
+        assert np.mean(perturbed_costs) <= np.mean(adaptive_costs)
+
+    def test_perturbed_consistent_across_seeds(self):
+        topology = paper_topology(1)
+        cost = CoverageCost(topology, CostWeights(alpha=0.0, beta=1.0))
+        finals = [
+            optimize_perturbed(
+                cost, seed=seed,
+                options=PerturbedOptions(max_iterations=300,
+                                         trisection_rounds=15),
+            ).best_u_eps
+            for seed in range(3)
+        ]
+        spread = (max(finals) - min(finals)) / min(finals)
+        assert spread < 0.1
+
+
+class TestRandomTopologyRobustness:
+    def test_pipeline_on_random_topology(self):
+        topology = random_topology(5, seed=8)
+        cost = CoverageCost(topology, CostWeights(alpha=1.0, beta=0.1))
+        result = optimize_perturbed(
+            cost, seed=0,
+            options=PerturbedOptions(max_iterations=80,
+                                     trisection_rounds=12),
+        )
+        assert np.isfinite(result.best_u_eps)
+        sim = simulate_schedule(
+            topology, result.best_matrix, transitions=5000, seed=1
+        )
+        assert sim.coverage_shares.sum() < 1.0
+        assert np.all(sim.occupancy >= 0)
+
+    def test_optimizer_improves_on_every_paper_topology(self):
+        for identifier in (1, 2, 3, 4):
+            topology = paper_topology(identifier)
+            cost = CoverageCost(
+                topology, CostWeights(alpha=1.0, beta=1.0)
+            )
+            from repro import uniform_matrix
+
+            start_matrix = uniform_matrix(topology.size)
+            start = cost.value(start_matrix)
+            result = optimize_perturbed(
+                cost, initial=start_matrix, seed=0,
+                options=PerturbedOptions(max_iterations=40,
+                                         trisection_rounds=12),
+            )
+            assert result.best_u_eps < start

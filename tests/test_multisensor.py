@@ -1,0 +1,213 @@
+"""Tests for repro.multisensor (team simulation and approximations)."""
+
+import numpy as np
+import pytest
+
+from repro import paper_topology, uniform_matrix
+from repro.multisensor import (
+    sensors_needed_for_coverage,
+    simulate_team,
+    team_coverage_approximation,
+    team_exposure_approximation,
+)
+from repro.multisensor.engine import _union_length
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return paper_topology(1)
+
+
+@pytest.fixture(scope="module")
+def team_run(topology):
+    matrix = uniform_matrix(4)
+    return simulate_team(
+        topology, [matrix, matrix, matrix], horizon=120_000.0, seed=0
+    )
+
+
+class TestUnionLength:
+    def test_disjoint(self):
+        assert _union_length([(0, 1), (2, 3)]) == pytest.approx(2.0)
+
+    def test_overlapping(self):
+        assert _union_length([(0, 2), (1, 3)]) == pytest.approx(3.0)
+
+    def test_unsorted_input(self):
+        assert _union_length([(5, 6), (0, 2)]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert _union_length([]) == 0.0
+
+    def test_nested(self):
+        assert _union_length([(0, 10), (2, 3)]) == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_rejects_empty_team(self, topology):
+        with pytest.raises(ValueError, match="at least one"):
+            simulate_team(topology, [], horizon=100.0)
+
+    def test_rejects_bad_horizon(self, topology):
+        with pytest.raises(ValueError, match="horizon"):
+            simulate_team(topology, [uniform_matrix(4)], horizon=0.0)
+
+    def test_rejects_size_mismatch(self, topology):
+        with pytest.raises(ValueError, match="size"):
+            simulate_team(topology, [uniform_matrix(3)], horizon=100.0)
+
+    def test_rejects_non_stochastic(self, topology):
+        with pytest.raises(ValueError, match="stochastic"):
+            simulate_team(topology, [np.ones((4, 4))], horizon=100.0)
+
+    def test_rejects_starts_length(self, topology):
+        with pytest.raises(ValueError, match="starts"):
+            simulate_team(
+                topology, [uniform_matrix(4)], horizon=100.0,
+                starts=[0, 1],
+            )
+
+
+class TestTeamSimulation:
+    def test_result_shapes(self, team_run):
+        assert team_run.sensors == 3
+        assert team_run.size == 4
+        assert team_run.coverage_shares.shape == (4,)
+        assert team_run.per_sensor_shares.shape == (3, 4)
+        assert team_run.transitions.shape == (3,)
+
+    def test_reproducible(self, topology):
+        matrix = uniform_matrix(4)
+        a = simulate_team(topology, [matrix] * 2, horizon=5000.0, seed=3)
+        b = simulate_team(topology, [matrix] * 2, horizon=5000.0, seed=3)
+        np.testing.assert_array_equal(
+            a.coverage_shares, b.coverage_shares
+        )
+
+    def test_union_at_least_best_individual(self, team_run):
+        best_individual = team_run.per_sensor_shares.max(axis=0)
+        assert np.all(
+            team_run.coverage_shares >= best_individual - 1e-12
+        )
+
+    def test_union_at_most_sum(self, team_run):
+        total = team_run.per_sensor_shares.sum(axis=0)
+        assert np.all(team_run.coverage_shares <= total + 1e-12)
+
+    def test_team_shrinks_exposure(self, topology):
+        matrix = uniform_matrix(4)
+        solo = simulate_team(
+            topology, [matrix], horizon=120_000.0, seed=1
+        )
+        trio = simulate_team(
+            topology, [matrix] * 3, horizon=120_000.0, seed=1
+        )
+        assert np.nanmean(trio.exposure_mean) \
+            < np.nanmean(solo.exposure_mean)
+
+    def test_heterogeneous_team(self, topology, rng):
+        slow = 0.9 * np.eye(4) + 0.1 * uniform_matrix(4)
+        fast = uniform_matrix(4)
+        result = simulate_team(
+            topology, [slow, fast], horizon=50_000.0, seed=2
+        )
+        # The lazy sensor spends most of its time parked at PoIs, so its
+        # total covered fraction exceeds the always-traveling one's.
+        assert result.per_sensor_shares[0].sum() \
+            > result.per_sensor_shares[1].sum()
+
+    def test_fixed_starts(self, topology):
+        matrix = uniform_matrix(4)
+        result = simulate_team(
+            topology, [matrix], horizon=1000.0, seed=0, starts=[2]
+        )
+        assert result.sensors == 1
+
+
+class TestCoverageApproximation:
+    def test_matches_simulation(self, team_run):
+        approx = team_coverage_approximation(team_run.per_sensor_shares)
+        np.testing.assert_allclose(
+            approx, team_run.coverage_shares, rtol=0.05
+        )
+
+    def test_single_sensor_identity(self):
+        shares = np.array([0.2, 0.5])
+        np.testing.assert_allclose(
+            team_coverage_approximation(shares), shares
+        )
+
+    def test_two_sensor_closed_form(self):
+        approx = team_coverage_approximation(
+            np.array([[0.5, 0.2], [0.5, 0.2]])
+        )
+        np.testing.assert_allclose(approx, [0.75, 0.36])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="shares"):
+            team_coverage_approximation(np.array([1.5]))
+
+
+class TestExposureApproximation:
+    def test_matches_simulation_within_band(self, topology):
+        matrix = uniform_matrix(4)
+        solo = simulate_team(
+            topology, [matrix], horizon=120_000.0, seed=5
+        )
+        trio = simulate_team(
+            topology, [matrix] * 3, horizon=120_000.0, seed=6
+        )
+        approx = team_exposure_approximation(
+            np.tile(solo.exposure_mean, (3, 1))
+        )
+        ratio = trio.exposure_mean / approx
+        assert np.all(ratio > 0.5) and np.all(ratio < 2.0)
+
+    def test_homogeneous_closed_form(self):
+        approx = team_exposure_approximation(
+            np.array([[6.0, 9.0], [6.0, 9.0], [6.0, 9.0]])
+        )
+        np.testing.assert_allclose(approx, [2.0, 3.0])
+
+    def test_infinite_sensor_drops_out(self):
+        approx = team_exposure_approximation(
+            np.array([[4.0], [np.inf]])
+        )
+        np.testing.assert_allclose(approx, [4.0])
+
+    def test_all_infinite_gives_infinite(self):
+        approx = team_exposure_approximation(np.array([[np.inf]]))
+        assert np.isinf(approx[0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="> 0"):
+            team_exposure_approximation(np.array([[0.0]]))
+
+
+class TestTeamSizing:
+    def test_monotone_in_target(self):
+        low = sensors_needed_for_coverage(0.3, 0.5)
+        high = sensors_needed_for_coverage(0.3, 0.99)
+        assert high > low
+
+    def test_exact_boundary(self):
+        # 1 - (1 - 0.5)^2 = 0.75 exactly.
+        assert sensors_needed_for_coverage(0.5, 0.75) == 2
+
+    def test_single_sensor_enough(self):
+        assert sensors_needed_for_coverage(0.9, 0.5) == 1
+
+    @pytest.mark.parametrize("single,target", [
+        (0.0, 0.5), (1.0, 0.5), (0.5, 0.0), (0.5, 1.0),
+    ])
+    def test_rejects_degenerate(self, single, target):
+        with pytest.raises(ValueError):
+            sensors_needed_for_coverage(single, target)
+
+    def test_formula_satisfied(self):
+        for single in (0.1, 0.33, 0.7):
+            for target in (0.5, 0.9, 0.999):
+                k = sensors_needed_for_coverage(single, target)
+                assert 1 - (1 - single) ** k >= target - 1e-12
+                if k > 1:
+                    assert 1 - (1 - single) ** (k - 1) < target

@@ -1,0 +1,190 @@
+"""Tests for repro.persist and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import paper_topology, uniform_matrix
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.core.result import OptimizationResult
+from repro.persist import (
+    load_matrix,
+    load_topology,
+    result_to_dict,
+    save_matrix,
+    save_result,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+class TestTopologyRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        original = paper_topology(3)
+        path = tmp_path / "topo.json"
+        save_topology(original, path)
+        loaded = load_topology(path)
+        assert loaded.name == original.name
+        np.testing.assert_allclose(
+            loaded.target_shares, original.target_shares
+        )
+        np.testing.assert_allclose(
+            loaded.travel_times, original.travel_times
+        )
+        np.testing.assert_allclose(loaded.passby, original.passby)
+
+    def test_dict_schema_checked(self):
+        with pytest.raises(ValueError, match="schema"):
+            topology_from_dict({"schema": "wrong"})
+
+    def test_dict_contains_schema(self):
+        data = topology_to_dict(paper_topology(1))
+        assert data["schema"] == "repro/topology/v1"
+
+    def test_defaults_applied(self):
+        data = topology_to_dict(paper_topology(1))
+        del data["speed"], data["pause_times"]
+        loaded = topology_from_dict(data)
+        assert loaded.speed == 10.0
+
+
+class TestMatrixRoundTrip:
+    def test_round_trip_exact(self, tmp_path):
+        matrix = np.random.default_rng(0).dirichlet(np.ones(4), size=4)
+        path = tmp_path / "m.json"
+        save_matrix(matrix, path)
+        np.testing.assert_array_equal(load_matrix(path), matrix)
+
+    def test_rejects_non_square_save(self, tmp_path):
+        with pytest.raises(ValueError, match="square"):
+            save_matrix(np.ones((2, 3)), tmp_path / "m.json")
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"schema": "nope", "matrix": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_matrix(path)
+
+
+class TestResultSerialization:
+    def test_result_to_dict(self, tmp_path):
+        result = OptimizationResult(
+            matrix=uniform_matrix(3), u_eps=1.5, u=1.4, delta_c=0.5,
+            e_bar=2.0, iterations=10, converged=True,
+            stop_reason="stalled",
+        )
+        data = result_to_dict(result)
+        assert data["u_eps"] == 1.5
+        assert data["stop_reason"] == "stalled"
+        path = tmp_path / "r.json"
+        save_result(result, path)
+        restored = json.loads(path.read_text())
+        assert restored["best_u_eps"] == 1.5
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["topology", "--paper", "1"])
+        assert args.command == "topology"
+
+    def test_experiment_registry_complete(self):
+        for name in ("table1", "table3", "figure2a", "figure8",
+                     "baselines"):
+            assert name in EXPERIMENTS
+
+    def test_topology_command(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        code = main(["topology", "--paper", "1", "--save", str(path)])
+        assert code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "4 PoIs" in out
+
+    def test_topology_grid(self, capsys):
+        assert main(["topology", "--grid", "2", "2"]) == 0
+        assert "grid-2x2" in capsys.readouterr().out
+
+    def test_topology_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["topology"])
+
+    def test_optimize_and_simulate_pipeline(self, tmp_path, capsys):
+        topo = tmp_path / "t.json"
+        matrix = tmp_path / "p.json"
+        result = tmp_path / "r.json"
+        assert main(
+            ["topology", "--paper", "1", "--save", str(topo)]
+        ) == 0
+        assert main([
+            "optimize", "--topology", str(topo),
+            "--alpha", "1", "--beta", "1",
+            "--algorithm", "perturbed", "--iterations", "20",
+            "--save-matrix", str(matrix),
+            "--save-result", str(result),
+        ]) == 0
+        assert matrix.exists() and result.exists()
+        assert main([
+            "simulate", "--topology", str(topo),
+            "--matrix", str(matrix),
+            "--transitions", "1000", "--warmup", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coverage shares" in out
+
+    def test_optimize_basic_algorithm(self, capsys):
+        assert main([
+            "optimize", "--paper", "1", "--algorithm", "basic",
+            "--iterations", "10", "--step-size", "1e-6",
+        ]) == 0
+        assert "U_eps=" in capsys.readouterr().out
+
+    def test_optimize_requires_topology(self):
+        with pytest.raises(SystemExit):
+            main(["optimize", "--alpha", "1"])
+
+    def test_experiment_command(self, capsys, monkeypatch):
+        # Patch in a tiny experiment so the test stays fast.
+        from repro import cli
+
+        def fake(seed=None):
+            from repro.experiments.reporting import TableResult
+
+            return TableResult(
+                experiment_id="T", title="t", columns=["c"], rows=[[1]]
+            )
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "table1", fake)
+        assert main(["experiment", "table1"]) == 0
+        assert "T" in capsys.readouterr().out
+
+    def test_tradeoff_command(self, capsys):
+        assert main([
+            "tradeoff", "--paper", "1", "--points", "2",
+            "--iterations", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pareto" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "not-a-thing"])
+
+
+class TestCliTeam:
+    def test_team_command(self, tmp_path, capsys):
+        topo = tmp_path / "t.json"
+        matrix = tmp_path / "p.json"
+        assert main(["topology", "--paper", "1", "--save", str(topo)]) == 0
+        assert main([
+            "optimize", "--topology", str(topo), "--iterations", "15",
+            "--save-matrix", str(matrix),
+        ]) == 0
+        assert main([
+            "team", "--topology", str(topo), "--matrix", str(matrix),
+            "--sensors", "2", "--horizon", "5000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "union coverage" in out

@@ -1,0 +1,152 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property ties at least two subsystems together on randomly generated
+inputs: random topologies, random ergodic chains, random weightings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CostWeights, CoverageCost, grid_topology, line_topology
+from repro.core.gradient import directional_derivative
+from repro.core.state import ChainState
+from repro.markov.entropy import entropy_rate
+from repro.markov.passage import first_passage_times
+from repro.markov.stationary import stationary_via_linear_solve
+from tests.conftest import random_zero_rowsum_direction
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def random_interior_matrix(seed, size):
+    rng = np.random.default_rng(seed)
+    matrix = 0.04 + 0.8 * rng.dirichlet(np.ones(size), size=size)
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+def random_shares(seed, size):
+    rng = np.random.default_rng(seed)
+    shares = 0.05 + rng.dirichlet(np.ones(size))
+    return shares / shares.sum()
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000), cols=st.integers(2, 4))
+def test_coverage_shares_are_probabilities(seed, cols):
+    """0 <= C-bar_i and sum(C-bar) <= 1 on random line topologies."""
+    topology = line_topology(cols, target_shares=random_shares(seed, cols))
+    cost = CoverageCost(topology, CostWeights())
+    matrix = random_interior_matrix(seed, cols)
+    shares = cost.coverage_shares(matrix)
+    assert np.all(shares >= -1e-12)
+    assert shares.sum() <= 1.0 + 1e-9
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_exposure_times_at_least_one_transition(seed):
+    """Every exposure segment takes at least one transition."""
+    matrix = random_interior_matrix(seed, 4)
+    state = ChainState.from_matrix(matrix)
+    assert np.all(state.exposure_times() >= 1.0 - 1e-9)
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_cost_nonnegative_without_entropy(seed):
+    """All Eq. (9) terms are sums of squares and barriers: U_eps >= 0."""
+    topology = grid_topology(2, 2, target_shares=random_shares(seed, 4))
+    cost = CoverageCost(
+        topology, CostWeights(alpha=1.0, beta=1.0, epsilon=1e-3)
+    )
+    assert cost.value(random_interior_matrix(seed, 4)) >= 0.0
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_gradient_check_random_topology_and_weights(seed):
+    rng = np.random.default_rng(seed + 1)
+    topology = grid_topology(2, 2, target_shares=random_shares(seed, 4))
+    cost = CoverageCost(
+        topology,
+        CostWeights(
+            alpha=float(rng.uniform(0.1, 2.0)),
+            beta=float(rng.uniform(0.0, 2.0)),
+            epsilon=1e-3,
+        ),
+    )
+    matrix = random_interior_matrix(seed, 4)
+    state = ChainState.from_matrix(matrix)
+    direction = random_zero_rowsum_direction(rng, 4)
+    h = 1e-7
+    numeric = (
+        cost.value(matrix + h * direction)
+        - cost.value(matrix - h * direction)
+    ) / (2 * h)
+    analytic = directional_derivative(state, cost.terms, direction)
+    assert numeric == pytest.approx(analytic, rel=1e-4, abs=1e-6)
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_descent_direction_is_descending(seed):
+    topology = grid_topology(2, 2, target_shares=random_shares(seed, 4))
+    cost = CoverageCost(topology, CostWeights(alpha=1.0, beta=0.5))
+    matrix = random_interior_matrix(seed, 4)
+    direction = cost.descent_direction(matrix)
+    if np.linalg.norm(direction) < 1e-12:
+        return  # critical point: nothing to check
+    baseline = cost.value(matrix)
+    stepped = cost.value(matrix + 1e-9 * direction)
+    assert stepped <= baseline + 1e-12
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_batch_values_match_scalar(seed):
+    topology = grid_topology(2, 2, target_shares=random_shares(seed, 4))
+    cost = CoverageCost(topology, CostWeights(alpha=1.0, beta=1.0))
+    rng = np.random.default_rng(seed)
+    stack = np.array(
+        [random_interior_matrix(seed + i, 4) for i in range(5)]
+    )
+    batch = cost.batch_values(stack)
+    scalar = np.array([cost.value(m) for m in stack])
+    assert np.allclose(batch, scalar, rtol=1e-9)
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_kac_and_entropy_invariants(seed):
+    matrix = random_interior_matrix(seed, 5)
+    pi = stationary_via_linear_solve(matrix)
+    r = first_passage_times(matrix)
+    assert np.allclose(np.diag(r), 1.0 / pi, rtol=1e-8)
+    assert 0.0 <= entropy_rate(matrix, pi) <= np.log(5) + 1e-12
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_simulation_time_accounting(seed):
+    """Total simulated time equals the sum of transition durations."""
+    from repro import SimulationOptions, simulate_schedule
+
+    topology = line_topology(3, target_shares=random_shares(seed, 3))
+    matrix = random_interior_matrix(seed, 3)
+    result = simulate_schedule(
+        topology, matrix, transitions=200, seed=seed,
+        options=SimulationOptions(record_path=True),
+    )
+    travel = topology.travel_times
+    expected = sum(
+        travel[result.path[n], result.path[n + 1]] for n in range(200)
+    )
+    assert result.total_time == pytest.approx(expected)
+    # Schedule-convention coverage cannot exceed elapsed time.
+    assert result.coverage_shares.sum() <= 1.0 + 1e-9

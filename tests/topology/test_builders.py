@@ -1,0 +1,125 @@
+"""Tests for repro.topology.grid, library, and random_gen."""
+
+import numpy as np
+import pytest
+
+from repro.topology.grid import grid_topology, line_topology
+from repro.topology.library import PAPER_TOPOLOGY_IDS, paper_topology
+from repro.topology.random_gen import random_topology
+
+
+class TestGrid:
+    def test_row_major_layout(self):
+        topo = grid_topology(2, 3, spacing=100.0)
+        positions = topo.positions
+        assert positions[0].as_tuple() == (0.0, 0.0)
+        assert positions[2].as_tuple() == (200.0, 0.0)
+        assert positions[3].as_tuple() == (0.0, 100.0)
+
+    def test_default_uniform_shares(self):
+        topo = grid_topology(2, 2)
+        np.testing.assert_allclose(topo.target_shares, 0.25)
+
+    def test_custom_shares(self):
+        topo = grid_topology(1, 3, target_shares=[0.5, 0.25, 0.25])
+        np.testing.assert_allclose(
+            topo.target_shares, [0.5, 0.25, 0.25]
+        )
+
+    def test_default_radius_fraction(self):
+        topo = grid_topology(2, 2, spacing=200.0)
+        assert topo.sensing_radius == pytest.approx(60.0)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            grid_topology(1, 1)
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError, match="rows"):
+            grid_topology(0, 3)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError, match="spacing"):
+            grid_topology(2, 2, spacing=-1.0)
+
+
+class TestLine:
+    def test_is_one_row_grid(self):
+        topo = line_topology(4)
+        ys = {p.y for p in topo.positions}
+        assert ys == {0.0}
+        assert topo.size == 4
+
+    def test_intermediates_on_long_trip(self):
+        topo = line_topology(5)
+        assert topo.intermediate_pois(0, 4) == [1, 2, 3]
+
+    def test_rejects_short_line(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            line_topology(1)
+
+
+class TestPaperTopologies:
+    @pytest.mark.parametrize("identifier", PAPER_TOPOLOGY_IDS)
+    def test_all_build(self, identifier):
+        topo = paper_topology(identifier)
+        assert topo.size >= 4
+        assert topo.target_shares.sum() == pytest.approx(1.0)
+
+    def test_topology1_shares(self):
+        np.testing.assert_allclose(
+            paper_topology(1).target_shares, [0.4, 0.1, 0.1, 0.4]
+        )
+
+    def test_topology3_is_line(self):
+        topo = paper_topology(3)
+        assert topo.intermediate_pois(0, 3) == [1, 2]
+
+    def test_topology_sizes(self):
+        assert paper_topology(1).size == 4
+        assert paper_topology(2).size == 6
+        assert paper_topology(3).size == 4
+        assert paper_topology(4).size == 9
+
+    def test_fresh_instances(self):
+        assert paper_topology(1) is not paper_topology(1)
+
+    @pytest.mark.parametrize("identifier", [0, 5, "x", None])
+    def test_rejects_unknown(self, identifier):
+        with pytest.raises(ValueError, match="unknown paper topology"):
+            paper_topology(identifier)
+
+
+class TestRandomTopology:
+    def test_reproducible(self):
+        a = random_topology(5, seed=1)
+        b = random_topology(5, seed=1)
+        for pa, pb in zip(a.positions, b.positions):
+            assert pa == pb
+
+    def test_respects_disjointness(self):
+        topo = random_topology(8, area_side=2000.0, sensing_radius=40.0,
+                               seed=2)
+        d = topo.distances
+        off = d[~np.eye(8, dtype=bool)]
+        assert off.min() > 2 * 40.0
+
+    def test_shares_form_distribution(self):
+        topo = random_topology(6, seed=3)
+        assert topo.target_shares.sum() == pytest.approx(1.0)
+        assert np.all(topo.target_shares >= 0)
+
+    def test_impossible_packing_raises(self):
+        with pytest.raises(RuntimeError, match="could not place"):
+            random_topology(50, area_side=100.0, sensing_radius=30.0,
+                            seed=0, max_attempts=200)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"count": 1},
+        {"count": 3, "area_side": -1.0},
+        {"count": 3, "sensing_radius": 0.0},
+        {"count": 3, "dirichlet_alpha": 0.0},
+    ])
+    def test_rejects_bad_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            random_topology(**kwargs)

@@ -1,0 +1,169 @@
+"""Tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.linalg import (
+    clip_to_open_interval,
+    is_row_stochastic,
+    max_feasible_step,
+    project_row_sum_zero,
+    relative_error,
+    row_normalize,
+    spectral_gap,
+)
+
+
+class TestIsRowStochastic:
+    def test_accepts_valid(self):
+        assert is_row_stochastic(np.full((3, 3), 1 / 3))
+
+    def test_rejects_negative(self):
+        matrix = np.array([[1.5, -0.5], [0.5, 0.5]])
+        assert not is_row_stochastic(matrix)
+
+    def test_rejects_bad_sum(self):
+        assert not is_row_stochastic(np.full((2, 2), 0.4))
+
+    def test_rejects_non_square(self):
+        assert not is_row_stochastic(np.full((2, 3), 1 / 3))
+
+    def test_rejects_nan(self):
+        matrix = np.array([[np.nan, 1.0], [0.5, 0.5]])
+        assert not is_row_stochastic(matrix)
+
+    def test_rejects_vector(self):
+        assert not is_row_stochastic(np.array([1.0]))
+
+
+class TestRowNormalize:
+    def test_normalizes(self):
+        out = row_normalize(np.array([[2.0, 2.0], [1.0, 3.0]]))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            row_normalize(np.array([[-1.0, 2.0]]))
+
+    def test_rejects_zero_row(self):
+        with pytest.raises(ValueError, match="row sum"):
+            row_normalize(np.array([[0.0, 0.0], [1.0, 1.0]]))
+
+
+class TestProjection:
+    def test_rows_sum_to_zero(self, rng):
+        matrix = rng.normal(size=(4, 4))
+        projected = project_row_sum_zero(matrix)
+        np.testing.assert_allclose(
+            projected.sum(axis=1), 0.0, atol=1e-12
+        )
+
+    def test_idempotent(self, rng):
+        matrix = rng.normal(size=(5, 5))
+        once = project_row_sum_zero(matrix)
+        twice = project_row_sum_zero(once)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def test_orthogonality(self, rng):
+        """The removed component is orthogonal to the projection."""
+        matrix = rng.normal(size=(4, 4))
+        projected = project_row_sum_zero(matrix)
+        residual = matrix - projected
+        assert abs(np.sum(projected * residual)) < 1e-10
+
+    def test_matches_paper_formula(self, rng):
+        """Eq. (11): Pi_ij = U_ij - mean_k U_ik."""
+        matrix = rng.normal(size=(3, 3))
+        projected = project_row_sum_zero(matrix)
+        for i in range(3):
+            for j in range(3):
+                expected = matrix[i, j] - matrix[i].mean()
+                assert projected[i, j] == pytest.approx(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrays(
+            float, (3, 3),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    def test_property_row_sums_zero(self, matrix):
+        projected = project_row_sum_zero(matrix)
+        assert np.allclose(projected.sum(axis=1), 0.0, atol=1e-9)
+
+
+class TestRelativeError:
+    def test_zero_for_equal(self):
+        a = np.ones((2, 2))
+        assert relative_error(a, a) == 0.0
+
+    def test_scale_invariant_floor(self):
+        assert relative_error(np.array([1e-9]), np.array([0.0])) \
+            == pytest.approx(1e-9)
+
+
+class TestClip:
+    def test_clips_both_sides(self):
+        out = clip_to_open_interval(np.array([[0.0, 1.0]]), margin=1e-6)
+        assert out.min() == 1e-6
+        assert out.max() == 1.0 - 1e-6
+
+    def test_bad_margin(self):
+        with pytest.raises(ValueError, match="margin"):
+            clip_to_open_interval(np.zeros((2, 2)), margin=0.7)
+
+
+class TestSpectralGap:
+    def test_uniform_chain_has_gap_one(self):
+        assert spectral_gap(np.full((4, 4), 0.25)) == pytest.approx(1.0)
+
+    def test_identity_has_zero_gap(self):
+        assert spectral_gap(np.eye(3)) == pytest.approx(0.0)
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError, match="stochastic"):
+            spectral_gap(np.zeros((3, 3)))
+
+
+class TestMaxFeasibleStep:
+    def test_basic_bound(self):
+        matrix = np.array([[0.5, 0.5], [0.5, 0.5]])
+        direction = np.array([[1.0, -1.0], [0.0, 0.0]])
+        # Entry (0,0) hits 1 at t=0.5; entry (0,1) hits 0 at t=0.5.
+        assert max_feasible_step(matrix, direction) \
+            == pytest.approx(0.5)
+
+    def test_infinite_when_unconstrained(self):
+        assert max_feasible_step(
+            np.full((2, 2), 0.5), np.zeros((2, 2))
+        ) == np.inf
+
+    def test_zero_at_boundary(self):
+        matrix = np.array([[0.0, 1.0], [0.5, 0.5]])
+        direction = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        assert max_feasible_step(matrix, direction) == 0.0
+
+    def test_custom_bounds(self):
+        matrix = np.array([[0.5]])
+        direction = np.array([[1.0]])
+        assert max_feasible_step(
+            matrix, direction, lower=0.2, upper=0.8
+        ) == pytest.approx(0.3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            max_feasible_step(np.ones((2, 2)), np.ones((3, 3)))
+
+    def test_never_violates(self, rng):
+        for _ in range(20):
+            matrix = rng.dirichlet(np.ones(4), size=4)
+            direction = rng.normal(size=(4, 4))
+            direction -= direction.mean(axis=1, keepdims=True)
+            bound = max_feasible_step(matrix, direction)
+            if np.isfinite(bound):
+                stepped = matrix + bound * direction
+                assert stepped.min() >= -1e-9
+                assert stepped.max() <= 1.0 + 1e-9

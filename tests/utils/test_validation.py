@@ -1,0 +1,117 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_distribution,
+    check_index,
+    check_matrix_shape,
+    check_positive,
+    check_probability,
+    check_square,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative_nonstrict(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive("x", -1.0, strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", float("inf"))
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckSquare:
+    def test_accepts_square(self):
+        out = check_square("m", [[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == float
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square("m", np.ones((2, 3)))
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square("m", np.ones(4))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_square("m", [[1.0, np.nan], [0.0, 1.0]])
+
+
+class TestCheckMatrixShape:
+    def test_accepts_exact(self):
+        out = check_matrix_shape("m", np.zeros((2, 3)), (2, 3))
+        assert out.shape == (2, 3)
+
+    def test_rejects_wrong(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_matrix_shape("m", np.zeros((3, 2)), (2, 3))
+
+
+class TestCheckDistribution:
+    def test_accepts_valid(self):
+        out = check_distribution("d", [0.2, 0.3, 0.5])
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_distribution("d", [0.2, 0.2])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_distribution("d", [-0.1, 0.6, 0.5])
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="length"):
+            check_distribution("d", [0.5, 0.5], size=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_distribution("d", np.full((2, 2), 0.25))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_distribution("d", [0.5, np.nan])
+
+    def test_tolerance_respected(self):
+        out = check_distribution("d", [0.5, 0.5 + 1e-12])
+        assert out.shape == (2,)
+
+
+class TestCheckIndex:
+    def test_accepts_valid(self):
+        assert check_index("i", 2, 5) == 2
+
+    @pytest.mark.parametrize("index", [-1, 5, 100])
+    def test_rejects_out_of_range(self, index):
+        with pytest.raises(ValueError, match="lie in"):
+            check_index("i", index, 5)
