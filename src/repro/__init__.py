@@ -45,6 +45,15 @@ from repro.core import (
     paper_random_matrix,
     uniform_matrix,
 )
+from repro.exec import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    using_executor,
+)
 from repro.markov import MarkovChain
 from repro.simulation import (
     SimulationOptions,
@@ -93,6 +102,14 @@ __all__ = [
     "damped_baseline_matrix",
     "MultiStartResult",
     "optimize_multistart",
+    # exec
+    "BACKENDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "using_executor",
     # markov
     "MarkovChain",
     # topology

@@ -25,6 +25,7 @@ import numpy as np
 import repro.experiments as experiments
 from repro import persist
 from repro.analysis.pareto import pareto_filter, tradeoff_curve
+from repro.exec import BACKENDS, using_executor
 from repro.core.adaptive import AdaptiveOptions, optimize_adaptive
 from repro.core.cost import CostWeights, CoverageCost
 from repro.core.descent import BasicDescentOptions, optimize_basic
@@ -80,6 +81,32 @@ def _add_topology_source(parser) -> None:
         "--paper", type=int, choices=PAPER_TOPOLOGY_IDS,
         help="use a paper evaluation topology instead",
     )
+
+
+def _add_parallel_flags(parser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "run independent seeds/starts on N workers "
+            "(default: serial execution)"
+        ),
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help=(
+            "execution backend; defaults to 'process' when --jobs > 1, "
+            "'serial' otherwise"
+        ),
+    )
+
+
+def _executor_spec(args):
+    """The ``(backend, jobs)`` pair requested on the command line."""
+    jobs = getattr(args, "jobs", None)
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        backend = "process" if jobs is not None and jobs > 1 else "serial"
+    return backend, jobs
 
 
 def _cmd_topology(args) -> int:
@@ -296,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--seed", type=int, default=0)
     p_opt.add_argument("--save-matrix", help="write matrix JSON here")
     p_opt.add_argument("--save-result", help="write result JSON here")
+    _add_parallel_flags(p_opt)
     p_opt.set_defaults(handler=_cmd_optimize)
 
     p_sim = sub.add_parser("simulate", help="simulate a schedule")
@@ -312,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--seed", type=int, default=None)
+    _add_parallel_flags(p_exp)
     p_exp.set_defaults(handler=_cmd_experiment)
 
     p_team = sub.add_parser(
@@ -334,16 +363,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_par.add_argument("--beta-min", type=float, default=1e-6)
     p_par.add_argument("--iterations", type=int, default=250)
     p_par.add_argument("--seed", type=int, default=0)
+    _add_parallel_flags(p_par)
     p_par.set_defaults(handler=_cmd_tradeoff)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Commands with ``--jobs`` / ``--backend`` run inside a
+    :func:`repro.exec.using_executor` scope, so every multi-run driver
+    they reach (``run_many``, ``optimize_multistart``,
+    ``simulate_repeatedly``) fans out on the requested backend without
+    further plumbing.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    backend, jobs = _executor_spec(args)
+    if jobs is not None and jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
+    with using_executor(backend, jobs=jobs):
+        return args.handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,6 +10,7 @@ exactly the paper's definition in Section V.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -20,12 +21,18 @@ from repro.core.initializers import paper_random_matrix
 from repro.core.linesearch import feasible_step_bound, trisection_search
 from repro.core.result import IterationRecord, OptimizationResult
 from repro.core.state import ChainState
+from repro.utils import perf
 from repro.utils.rng import RandomState
 
 
 @dataclass(frozen=True)
 class AdaptiveOptions:
-    """Knobs of the adaptive algorithm (V2 + V3)."""
+    """Knobs of the adaptive algorithm (V2 + V3).
+
+    ``reuse_linesearch_state`` hands the line search's winning probe's
+    ``(pi, Z)`` to the accepted iterate instead of refactorizing from
+    scratch; disable it only to cross-check the two paths.
+    """
 
     max_iterations: int = 500
     trisection_rounds: int = 40
@@ -33,6 +40,7 @@ class AdaptiveOptions:
     rtol: float = 1e-12
     record_history: bool = True
     checkpoint_every: int = 0
+    reuse_linesearch_state: bool = True
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -58,58 +66,72 @@ def optimize_adaptive(
     search finds no improving step — the behavior Fig. 2 measures.
     """
     options = options or AdaptiveOptions()
-    matrix = (
-        paper_random_matrix(cost.size, seed=seed) if initial is None
-        else np.array(initial, dtype=float)
-    )
-    state = ChainState.from_matrix(matrix)
-    breakdown = cost.evaluate(state)
-    history = []
-    checkpoints = []
-    stop_reason = "max_iterations"
-    converged = False
-    iteration = 0
-
-    for iteration in range(1, options.max_iterations + 1):
-        direction = cost.descent_direction(state)
-        gradient_norm = float(np.linalg.norm(direction))
-        bound = feasible_step_bound(state.p, direction)
-
-        search = trisection_search(
-            upper=bound,
-            baseline=breakdown.u_eps,
-            rounds=options.trisection_rounds,
-            improvement_rtol=options.rtol,
-            geometric_decades=options.geometric_decades,
-            batch_objective=cost.ray_batch(state.p, direction),
+    started = time.perf_counter()
+    with perf.perf_scope() as counters:
+        matrix = (
+            paper_random_matrix(cost.size, seed=seed) if initial is None
+            else np.array(initial, dtype=float)
         )
-        if search.step == 0.0:
-            stop_reason = "local_optimum"
-            converged = True
-            iteration -= 1
-            break
-
-        state = ChainState.from_matrix(
-            state.p + search.step * direction, check=False
-        )
+        state = ChainState.from_matrix(matrix)
         breakdown = cost.evaluate(state)
-        if (
-            options.checkpoint_every
-            and iteration % options.checkpoint_every == 0
-        ):
-            checkpoints.append((iteration, state.p.copy()))
-        if options.record_history:
-            history.append(
-                IterationRecord(
-                    iteration=iteration,
-                    u_eps=breakdown.u_eps,
-                    u=breakdown.u,
-                    delta_c=breakdown.delta_c,
-                    e_bar=breakdown.e_bar,
-                    step=search.step,
-                    gradient_norm=gradient_norm,
-                )
+        history = []
+        checkpoints = []
+        stop_reason = "max_iterations"
+        converged = False
+        iteration = 0
+        accepted_steps = 0
+        accept_factorizations = 0
+
+        for iteration in range(1, options.max_iterations + 1):
+            direction = cost.descent_direction(state)
+            gradient_norm = float(np.linalg.norm(direction))
+            bound = feasible_step_bound(state.p, direction)
+
+            ray = cost.ray_batch(state.p, direction)
+            search = trisection_search(
+                upper=bound,
+                baseline=breakdown.u_eps,
+                rounds=options.trisection_rounds,
+                improvement_rtol=options.rtol,
+                geometric_decades=options.geometric_decades,
+                batch_objective=ray,
             )
+            if search.step == 0.0:
+                stop_reason = "local_optimum"
+                converged = True
+                iteration -= 1
+                break
+
+            build_start = counters.factorizations
+            next_state = (
+                ray.state_at(search.step)
+                if options.reuse_linesearch_state else None
+            )
+            if next_state is None:
+                next_state = ChainState.from_matrix(
+                    state.p + search.step * direction, check=False
+                )
+            state = next_state
+            breakdown = cost.evaluate(state)
+            accepted_steps += 1
+            accept_factorizations += counters.factorizations - build_start
+            if (
+                options.checkpoint_every
+                and iteration % options.checkpoint_every == 0
+            ):
+                checkpoints.append((iteration, state.p.copy()))
+            if options.record_history:
+                history.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        u_eps=breakdown.u_eps,
+                        u=breakdown.u,
+                        delta_c=breakdown.delta_c,
+                        e_bar=breakdown.e_bar,
+                        step=search.step,
+                        gradient_norm=gradient_norm,
+                    )
+                )
 
     return OptimizationResult(
         matrix=state.p.copy(),
@@ -122,4 +144,10 @@ def optimize_adaptive(
         stop_reason=stop_reason,
         history=history,
         checkpoints=checkpoints,
+        perf=perf.OptimizerPerf.from_counters(
+            counters,
+            accepted_steps=accepted_steps,
+            accept_factorizations=accept_factorizations,
+            seconds=time.perf_counter() - started,
+        ),
     )

@@ -30,6 +30,7 @@ from repro.core.terms import (
     ObjectiveTerm,
 )
 from repro.topology.model import Topology
+from repro.utils import perf
 
 
 @dataclass(frozen=True)
@@ -231,6 +232,18 @@ class CoverageCost:
         barrier) plus any enabled extension terms are included, identical
         to :meth:`value`; the two paths are cross-checked by tests.
         """
+        return self.batch_evaluate(stack)[0]
+
+    def batch_evaluate(self, stack: np.ndarray):
+        """Batched evaluation that also returns the derived matrices.
+
+        Returns ``(values, pis, zs, ok)``: the ``U_eps`` values of
+        :meth:`batch_values` plus the per-matrix stationary
+        distributions, fundamental matrices, and the feasibility mask.
+        ``pis[i]``/``zs[i]`` are only meaningful where ``ok[i]`` — the
+        line search uses them to hand its winning probe's state back to
+        the optimizer without refactorizing (see :class:`RayBatch`).
+        """
         stack = np.asarray(stack, dtype=float)
         if stack.ndim != 3 or stack.shape[1:] != (self.size, self.size):
             raise ValueError(
@@ -240,7 +253,11 @@ class CoverageCost:
         k, size = stack.shape[0], self.size
         values = np.full(k, np.inf)
         if k == 0:
-            return values
+            empty = np.zeros((0, size))
+            return values, empty, np.zeros((0, size, size)), \
+                np.zeros(0, dtype=bool)
+        perf.count("batch_calls")
+        perf.count("batch_matrices", k)
         eye = np.eye(size)
 
         with np.errstate(all="ignore"):
@@ -254,6 +271,15 @@ class CoverageCost:
                 pis = np.linalg.solve(systems, rhs_stack)[..., 0]
             except np.linalg.LinAlgError:
                 pis = _solve_one_by_one(systems, rhs)
+            # Sanitize exactly as the scalar solver does (clip round-off
+            # negatives, renormalize): the cores below must match the
+            # scalar path's bit for bit, or a state handed back by the
+            # line search would not equal the one a scratch rebuild
+            # produces and reuse would perturb trajectories.
+            pis = np.clip(pis, 0.0, None)
+            sums = pis.sum(axis=1, keepdims=True)
+            safe_sums = np.where(sums > 0.0, sums, 1.0)
+            pis = pis / safe_sums
             # Fundamental matrices Z = inv(I - P + W).
             cores = eye[None, :, :] - stack + pis[:, None, :]
             try:
@@ -268,9 +294,13 @@ class CoverageCost:
             )
             diag = np.einsum("kii->ki", stack)
             ok &= (diag < 1.0 - 1e-13).all(axis=1)
+            # The box is [0, 1] on both sides: an off-diagonal entry above
+            # 1 must be masked here, not left for the barrier to take the
+            # log of a negative number.
             ok &= (stack >= 0.0).all(axis=(1, 2))
+            ok &= (stack <= 1.0).all(axis=(1, 2))
             if not ok.any():
-                return values
+                return values, pis, zs, ok
 
             # Coverage deviation term.
             weighted = pis[:, :, None] * stack
@@ -293,7 +323,10 @@ class CoverageCost:
             eps = self.weights.epsilon
             penalty = np.zeros(k)
             in_band = (stack <= eps) | (stack >= 1.0 - eps)
-            rows_with_band = in_band.any(axis=(1, 2))
+            # Only feasible rows reach the penalty (infeasible ones are
+            # already +inf, and entries outside [0, 1] would make
+            # ``elementwise_value`` raise).
+            rows_with_band = in_band.any(axis=(1, 2)) & ok
             for index in np.nonzero(rows_with_band)[0]:
                 penalty[index] = float(
                     self._penalty.elementwise_value(stack[index]).sum()
@@ -316,24 +349,19 @@ class CoverageCost:
 
         values[ok] = total[ok]
         values[~np.isfinite(values)] = np.inf
-        return values
+        return values, pis, zs, ok
 
     def ray_batch(self, matrix: np.ndarray, direction: np.ndarray):
         """Return the batched ray objective ``steps -> U_eps`` values.
 
-        The returned callable evaluates ``U_eps(matrix + step * direction)``
-        for a whole array of steps at once via :meth:`batch_values` — the
-        line search's fast path.
+        The returned :class:`RayBatch` evaluates
+        ``U_eps(matrix + step * direction)`` for a whole array of steps at
+        once via :meth:`batch_values` — the line search's fast path — and
+        remembers the winning probe's ``(pi, Z)`` so the optimizer can
+        accept that candidate without refactorizing
+        (:meth:`RayBatch.state_at`).
         """
-        matrix = np.asarray(matrix, dtype=float)
-        direction = np.asarray(direction, dtype=float)
-
-        def batch(steps: np.ndarray) -> np.ndarray:
-            steps = np.asarray(steps, dtype=float)
-            stack = matrix[None, :, :] + steps[:, None, None] * direction
-            return self.batch_values(stack)
-
-        return batch
+        return RayBatch(self, matrix, direction)
 
     # ------------------------------------------------------------------ #
 
@@ -341,6 +369,82 @@ class CoverageCost:
         if isinstance(matrix_or_state, ChainState):
             return matrix_or_state
         return ChainState.from_matrix(np.asarray(matrix_or_state, float))
+
+
+class RayBatch:
+    """Batched ray objective that remembers the winning probe's state.
+
+    Callable as ``steps -> U_eps values`` (the line search's
+    ``batch_objective``).  While evaluating, it tracks the first
+    strictly-best feasible probe in evaluation order — the same rule the
+    conservative trisection uses to pick its step — and keeps that
+    probe's ``(P, pi, Z)``.  After the search, :meth:`state_at` hands the
+    accepted candidate's :class:`~repro.core.state.ChainState` back
+    without any new factorization; the historical behavior rebuilt it
+    from scratch, paying a redundant stationary solve plus fundamental
+    factorization per accepted step.
+    """
+
+    def __init__(
+        self,
+        cost: CoverageCost,
+        matrix: np.ndarray,
+        direction: np.ndarray,
+    ) -> None:
+        self._cost = cost
+        self._matrix = np.asarray(matrix, dtype=float)
+        self._direction = np.asarray(direction, dtype=float)
+        self._best_step: Optional[float] = None
+        self._best_value = np.inf
+        self._best_parts = None
+
+    def _stack(self, steps: np.ndarray) -> np.ndarray:
+        return (
+            self._matrix[None, :, :]
+            + steps[:, None, None] * self._direction
+        )
+
+    def __call__(self, steps: np.ndarray) -> np.ndarray:
+        steps = np.asarray(steps, dtype=float)
+        stack = self._stack(steps)
+        values, pis, zs, ok = self._cost.batch_evaluate(stack)
+        usable = ok & np.isfinite(values)
+        if usable.any():
+            masked = np.where(usable, values, np.inf)
+            index = int(np.argmin(masked))
+            if masked[index] < self._best_value:
+                self._best_step = float(steps[index])
+                self._best_value = float(masked[index])
+                self._best_parts = (stack[index], pis[index], zs[index])
+        return values
+
+    def state_at(self, step: float):
+        """The recorded winner's state, or ``None`` on any mismatch.
+
+        Returns a state only when ``step`` is exactly the recorded best
+        probe, so a caller falling back to
+        :meth:`ChainState.from_matrix` on ``None`` is always correct.
+        """
+        if self._best_parts is None or self._best_step != float(step):
+            return None
+        p, pi, z = self._best_parts
+        return ChainState.from_parts(p, pi, z)
+
+    def probe_state(self, step: float):
+        """Evaluate one extra step; return ``(value, state_or_None)``.
+
+        The perturbed algorithm's random fallback step goes through this
+        batched path, so even annealing moves get their state without a
+        scalar rebuild.  Does not disturb the winner tracked by
+        :meth:`state_at`.
+        """
+        steps = np.asarray([float(step)])
+        stack = self._stack(steps)
+        values, pis, zs, ok = self._cost.batch_evaluate(stack)
+        if not ok[0] or not np.isfinite(values[0]):
+            return float(values[0]), None
+        state = ChainState.from_parts(stack[0], pis[0], zs[0])
+        return float(values[0]), state
 
 
 def _solve_one_by_one(systems: np.ndarray, rhs: np.ndarray) -> np.ndarray:

@@ -56,7 +56,9 @@ def total_derivative(
     if grad_pi is not None:
         result += adjoint_stationary_term(state.pi, state.z, grad_pi)
     if grad_z is not None:
-        result += adjoint_fundamental_term(state.pi, state.z, grad_z)
+        result += adjoint_fundamental_term(
+            state.pi, state.z, grad_z, z2=state.z2
+        )
     if grad_p is not None:
         result += grad_p
     return result

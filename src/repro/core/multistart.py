@@ -37,7 +37,8 @@ from repro.core.initializers import (
 )
 from repro.core.perturbed import PerturbedOptions, optimize_perturbed
 from repro.core.result import OptimizationResult
-from repro.utils.rng import RandomState, as_generator
+from repro.exec import resolve_executor
+from repro.utils.rng import RandomState, as_generator, spawn_generators
 
 #: Default damping grid: fast (1.0) down to nearly frozen schedules.
 DEFAULT_DELTA_GRID = (1.0, 0.3, 0.1, 0.03, 0.01, 0.003)
@@ -87,6 +88,15 @@ def default_start_portfolio(
     return starts
 
 
+def _run_start(task) -> OptimizationResult:
+    """One portfolio start; module-level so it pickles for processes."""
+    optimizer, cost, matrix, rng, options = task
+    kwargs = {"initial": matrix, "seed": rng}
+    if options is not None:
+        kwargs["options"] = options
+    return optimizer(cost, **kwargs)
+
+
 def optimize_multistart(
     cost: CoverageCost,
     optimizer: Optional[Callable[..., OptimizationResult]] = None,
@@ -94,11 +104,18 @@ def optimize_multistart(
     delta_grid: Sequence[float] = DEFAULT_DELTA_GRID,
     seed: RandomState = None,
     options: Optional[PerturbedOptions] = None,
+    executor=None,
 ) -> MultiStartResult:
     """Run ``optimizer`` from every start in the portfolio; keep the best.
 
     ``optimizer`` defaults to :func:`repro.core.perturbed.optimize_perturbed`
     and must accept ``(cost, initial=..., seed=..., options=...)``.
+
+    The starts are independent: the portfolio is drawn first from
+    ``seed``, then each start gets its own spawned RNG stream, so the
+    outcome is bit-identical whichever :mod:`repro.exec` backend runs
+    them (the ``process`` backend additionally requires ``optimizer`` to
+    be picklable — the default is).
     """
     rng = as_generator(seed)
     if optimizer is None:
@@ -106,13 +123,12 @@ def optimize_multistart(
     starts = default_start_portfolio(
         cost, random_starts=random_starts, delta_grid=delta_grid, seed=rng
     )
-    runs: List[OptimizationResult] = []
-    labels: List[str] = []
-    for label, matrix in starts:
-        kwargs = {"initial": matrix, "seed": rng}
-        if options is not None:
-            kwargs["options"] = options
-        runs.append(optimizer(cost, **kwargs))
-        labels.append(label)
+    streams = spawn_generators(rng, len(starts))
+    tasks = [
+        (optimizer, cost, matrix, stream, options)
+        for (_, matrix), stream in zip(starts, streams)
+    ]
+    runs = resolve_executor(executor).map(_run_start, tasks)
+    labels = [label for label, _ in starts]
     best = min(runs, key=lambda run: run.best_u_eps)
     return MultiStartResult(best=best, runs=runs, start_labels=labels)

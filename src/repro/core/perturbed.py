@@ -25,6 +25,7 @@ wanders uphill, so the final iterate need not be the best one seen.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -35,6 +36,7 @@ from repro.core.initializers import paper_random_matrix
 from repro.core.linesearch import feasible_step_bound, trisection_search
 from repro.core.result import IterationRecord, OptimizationResult
 from repro.core.state import ChainState
+from repro.utils import perf
 from repro.utils.linalg import project_row_sum_zero
 from repro.utils.rng import RandomState, as_generator
 
@@ -49,7 +51,10 @@ class PerturbedOptions:
     ``relative_noise=False`` for absolute noise.  ``cooling_k`` is the
     paper's constant ``k`` (its experiments use ``k = 10000``).
     ``stall_limit`` stops a run after that many iterations without
-    improving the best cost.
+    improving the best cost.  ``reuse_linesearch_state`` hands the line
+    search's winning probe's ``(pi, Z)`` to the accepted candidate
+    instead of refactorizing from scratch (see ``docs/performance.md``);
+    disable it only to cross-check the two paths.
     """
 
     max_iterations: int = 600
@@ -62,6 +67,7 @@ class PerturbedOptions:
     rtol: float = 1e-12
     record_history: bool = True
     checkpoint_every: int = 0
+    reuse_linesearch_state: bool = True
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -97,6 +103,46 @@ def acceptance_probability(
     return float(np.exp(-normalized / temperature))
 
 
+def acquire_candidate(
+    cost: CoverageCost,
+    base_matrix: np.ndarray,
+    direction: np.ndarray,
+    step: float,
+    ray,
+    from_search: bool,
+    reuse: bool,
+):
+    """The candidate state and breakdown at ``base + step * direction``.
+
+    With ``reuse`` enabled, line-search winners come back from the
+    :class:`~repro.core.cost.RayBatch` with their already-computed
+    ``(pi, Z)``, and random fallback steps are evaluated through the
+    same batched path — either way no scalar refactorization happens.
+    Falls back to a scratch :meth:`ChainState.from_matrix` build when the
+    probe cannot be recovered.  Returns ``(None, None)`` for infeasible
+    candidates.
+    """
+    candidate_state = None
+    if reuse and ray is not None:
+        if from_search:
+            candidate_state = ray.state_at(step)
+        else:
+            candidate_state = ray.probe_state(step)[1]
+            if candidate_state is None:
+                return None, None
+    if candidate_state is None:
+        try:
+            candidate_state = ChainState.from_matrix(
+                base_matrix + step * direction, check=False
+            )
+        except (ValueError, np.linalg.LinAlgError):
+            return None, None
+    try:
+        return candidate_state, cost.evaluate(candidate_state)
+    except (ValueError, np.linalg.LinAlgError):
+        return None, None
+
+
 def optimize_perturbed(
     cost: CoverageCost,
     initial: Optional[np.ndarray] = None,
@@ -111,105 +157,116 @@ def optimize_perturbed(
     """
     options = options or PerturbedOptions()
     rng = as_generator(seed)
-    matrix = (
-        paper_random_matrix(cost.size, seed=rng) if initial is None
-        else np.array(initial, dtype=float)
-    )
-    state = ChainState.from_matrix(matrix)
-    breakdown = cost.evaluate(state)
-    best_matrix = state.p.copy()
-    best_u_eps = breakdown.u_eps
-    best_breakdown = breakdown
-    history = []
-    checkpoints = []
-    stall = 0
-    stop_reason = "max_iterations"
-    iteration = 0
-
-    for iteration in range(1, options.max_iterations + 1):
-        gradient = cost.gradient(state)
-        gradient_norm = float(np.linalg.norm(gradient))
-        if options.sigma > 0.0:
-            if options.relative_noise:
-                rms = gradient_norm / state.p.size**0.5
-                noise_scale = options.sigma * max(rms, 1e-300)
-            else:
-                noise_scale = options.sigma
-            gradient = gradient + rng.normal(
-                0.0, noise_scale, size=gradient.shape
-            )
-        direction = -project_row_sum_zero(gradient)
-        bound = feasible_step_bound(state.p, direction)
-
-        search = trisection_search(
-            upper=bound,
-            baseline=breakdown.u_eps,
-            rounds=options.trisection_rounds,
-            improvement_rtol=options.rtol,
-            geometric_decades=options.geometric_decades,
-            batch_objective=cost.ray_batch(state.p, direction),
+    started = time.perf_counter()
+    with perf.perf_scope() as counters:
+        matrix = (
+            paper_random_matrix(cost.size, seed=rng) if initial is None
+            else np.array(initial, dtype=float)
         )
-        if search.step > 0.0:
-            step = search.step
-        elif bound > 0.0:
-            # Paper: "if dt* = 0 then dt = rand" within the feasible range.
-            step = rng.uniform(0.0, bound)
-        else:
-            step = 0.0
+        state = ChainState.from_matrix(matrix)
+        breakdown = cost.evaluate(state)
+        best_matrix = state.p.copy()
+        best_u_eps = breakdown.u_eps
+        best_breakdown = breakdown
+        history = []
+        checkpoints = []
+        stall = 0
+        stop_reason = "max_iterations"
+        iteration = 0
+        accepted_steps = 0
+        accept_factorizations = 0
 
-        accepted = False
-        if step > 0.0:
-            try:
-                candidate_state = ChainState.from_matrix(
-                    state.p + step * direction, check=False
+        for iteration in range(1, options.max_iterations + 1):
+            gradient = cost.gradient(state)
+            gradient_norm = float(np.linalg.norm(gradient))
+            if options.sigma > 0.0:
+                if options.relative_noise:
+                    rms = gradient_norm / state.p.size**0.5
+                    noise_scale = options.sigma * max(rms, 1e-300)
+                else:
+                    noise_scale = options.sigma
+                gradient = gradient + rng.normal(
+                    0.0, noise_scale, size=gradient.shape
                 )
-                candidate_breakdown = cost.evaluate(candidate_state)
-            except (ValueError, np.linalg.LinAlgError):
-                candidate_state = None
-                candidate_breakdown = None
-            if candidate_breakdown is not None and np.isfinite(
-                candidate_breakdown.u_eps
-            ):
-                worsening = candidate_breakdown.u_eps - breakdown.u_eps
-                probability = acceptance_probability(
-                    worsening, best_u_eps, iteration, options.cooling_k
-                )
-                if worsening <= 0.0 or rng.uniform() < probability:
-                    state = candidate_state
-                    breakdown = candidate_breakdown
-                    accepted = True
+            direction = -project_row_sum_zero(gradient)
+            bound = feasible_step_bound(state.p, direction)
 
-        if breakdown.u_eps < best_u_eps - 1e-15:
-            best_u_eps = breakdown.u_eps
-            best_matrix = state.p.copy()
-            best_breakdown = breakdown
-            stall = 0
-        else:
-            stall += 1
-
-        if options.record_history:
-            history.append(
-                IterationRecord(
-                    iteration=iteration,
-                    u_eps=breakdown.u_eps,
-                    u=breakdown.u,
-                    delta_c=breakdown.delta_c,
-                    e_bar=breakdown.e_bar,
-                    step=step if accepted else 0.0,
-                    gradient_norm=gradient_norm,
-                    accepted=accepted,
-                )
+            ray = cost.ray_batch(state.p, direction)
+            search = trisection_search(
+                upper=bound,
+                baseline=breakdown.u_eps,
+                rounds=options.trisection_rounds,
+                improvement_rtol=options.rtol,
+                geometric_decades=options.geometric_decades,
+                batch_objective=ray,
             )
+            if search.step > 0.0:
+                step = search.step
+                from_search = True
+            elif bound > 0.0:
+                # Paper: "if dt* = 0 then dt = rand" within the feasible
+                # range.
+                step = rng.uniform(0.0, bound)
+                from_search = False
+            else:
+                step = 0.0
+                from_search = False
 
-        if (
-            options.checkpoint_every
-            and iteration % options.checkpoint_every == 0
-        ):
-            checkpoints.append((iteration, state.p.copy()))
+            accepted = False
+            if step > 0.0:
+                build_start = counters.factorizations
+                candidate_state, candidate_breakdown = acquire_candidate(
+                    cost, state.p, direction, step, ray, from_search,
+                    options.reuse_linesearch_state,
+                )
+                build_factorizations = (
+                    counters.factorizations - build_start
+                )
+                if candidate_breakdown is not None and np.isfinite(
+                    candidate_breakdown.u_eps
+                ):
+                    worsening = candidate_breakdown.u_eps - breakdown.u_eps
+                    probability = acceptance_probability(
+                        worsening, best_u_eps, iteration, options.cooling_k
+                    )
+                    if worsening <= 0.0 or rng.uniform() < probability:
+                        state = candidate_state
+                        breakdown = candidate_breakdown
+                        accepted = True
+                        accepted_steps += 1
+                        accept_factorizations += build_factorizations
 
-        if stall >= options.stall_limit:
-            stop_reason = "stalled"
-            break
+            if breakdown.u_eps < best_u_eps - 1e-15:
+                best_u_eps = breakdown.u_eps
+                best_matrix = state.p.copy()
+                best_breakdown = breakdown
+                stall = 0
+            else:
+                stall += 1
+
+            if options.record_history:
+                history.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        u_eps=breakdown.u_eps,
+                        u=breakdown.u,
+                        delta_c=breakdown.delta_c,
+                        e_bar=breakdown.e_bar,
+                        step=step if accepted else 0.0,
+                        gradient_norm=gradient_norm,
+                        accepted=accepted,
+                    )
+                )
+
+            if (
+                options.checkpoint_every
+                and iteration % options.checkpoint_every == 0
+            ):
+                checkpoints.append((iteration, state.p.copy()))
+
+            if stall >= options.stall_limit:
+                stop_reason = "stalled"
+                break
 
     return OptimizationResult(
         matrix=best_matrix,
@@ -224,4 +281,10 @@ def optimize_perturbed(
         best_matrix=best_matrix,
         best_u_eps=best_u_eps,
         checkpoints=checkpoints,
+        perf=perf.OptimizerPerf.from_counters(
+            counters,
+            accepted_steps=accepted_steps,
+            accept_factorizations=accept_factorizations,
+            seconds=time.perf_counter() - started,
+        ),
     )

@@ -12,6 +12,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.utils.perf import OptimizerPerf
+
 
 @dataclass(frozen=True)
 class IterationRecord:
@@ -49,6 +51,9 @@ class OptimizationResult:
     best_matrix: Optional[np.ndarray] = None
     best_u_eps: Optional[float] = None
     checkpoints: List[tuple] = field(default_factory=list)
+    #: Hot-path counters for this run (factorizations, reused states,
+    #: batched solves); ``None`` for optimizers that do not collect them.
+    perf: Optional[OptimizerPerf] = None
 
     def __post_init__(self) -> None:
         if self.best_matrix is None:

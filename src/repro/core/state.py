@@ -4,6 +4,16 @@ Every steepest-descent iteration evaluates the cost and its gradient at the
 same transition matrix; both need the stationary distribution and the
 fundamental matrix.  :class:`ChainState` computes them exactly once per
 matrix (step 5 of the paper's computational algorithm, Section V).
+
+Two hot-path optimizations live here:
+
+* the core ``(I - P + W)`` is LU-factored exactly once; the factors
+  produce ``Z`` and remain available (:meth:`ChainState.solve_core`) for
+  any further solves against the same core, replacing the historical
+  ``solve`` + ``inv`` pair with a single decomposition;
+* :meth:`ChainState.from_parts` assembles a state from an already-computed
+  ``(pi, Z)`` — the batched line search hands its winning probe back to
+  the optimizer this way, so an accepted step costs no new factorization.
 """
 
 from __future__ import annotations
@@ -11,9 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 import numpy as np
 
-from repro.markov.fundamental import fundamental_matrix
+from repro.markov.fundamental import CoreFactorization, factor_core
 from repro.markov.passage import first_passage_times
 from repro.markov.stationary import stationary_via_linear_solve
+from repro.utils import perf
 from repro.utils.linalg import is_row_stochastic
 from repro.utils.validation import check_square
 
@@ -36,6 +47,8 @@ class ChainState:
     pi: np.ndarray
     z: np.ndarray
     _r_cache: list = field(default_factory=list, repr=False, compare=False)
+    _z2_cache: list = field(default_factory=list, repr=False, compare=False)
+    _lu_cache: list = field(default_factory=list, repr=False, compare=False)
 
     @classmethod
     def from_matrix(cls, matrix: np.ndarray, check: bool = True):
@@ -58,8 +71,51 @@ class ChainState:
                 "stationary distribution has non-positive entries "
                 f"(min {pi.min():.3g}); the chain is not ergodic"
             )
-        z = fundamental_matrix(matrix, pi)
-        return cls(p=matrix, pi=pi, z=z)
+        factors = factor_core(matrix, pi)
+        z = factors.inverse()
+        # One stationary solve plus one core LU: the only dense
+        # decompositions a state build performs.
+        perf.count("factorizations", 2)
+        perf.count("state_builds")
+        state = cls(p=matrix, pi=pi, z=z)
+        state._lu_cache.append(factors)
+        return state
+
+    @classmethod
+    def from_parts(cls, p: np.ndarray, pi: np.ndarray, z: np.ndarray):
+        """Assemble a state from already-computed ``(pi, Z)``.
+
+        Used to hand the line search's winning probe back to the
+        optimizer without refactorizing.  ``pi`` must already be
+        normalized (the batched evaluator sanitizes it exactly as the
+        scalar solver does); renormalizing here could drift a ulp away
+        from the scalar path and perturb otherwise bit-identical
+        trajectories.  ``p``/``pi``/``z`` are trusted (callers own
+        their consistency).
+        """
+        p = check_square("p", p)
+        pi = np.asarray(pi, dtype=float)
+        z = check_square("z", z)
+        if pi.shape != (p.shape[0],) or z.shape != p.shape:
+            raise ValueError(
+                f"inconsistent shapes: p {p.shape}, pi {pi.shape}, "
+                f"z {z.shape}"
+            )
+        if np.any(pi <= 0):
+            raise ValueError(
+                "stationary distribution has non-positive entries "
+                f"(min {pi.min():.3g}); the chain is not ergodic"
+            )
+        perf.count("states_reused")
+        # Fresh owned copies, not views into the caller's batch stack:
+        # BLAS/einsum kernels pick SIMD paths by memory alignment, and a
+        # misaligned view can yield ulp-different gradients than the
+        # bitwise-equal freshly allocated arrays of ``from_matrix``.
+        return cls(
+            p=np.array(p, dtype=float),
+            pi=np.array(pi, dtype=float),
+            z=np.array(z, dtype=float),
+        )
 
     @property
     def size(self) -> int:
@@ -74,6 +130,26 @@ class ChainState:
                 first_passage_times(self.p, self.z, self.pi)
             )
         return self._r_cache[0]
+
+    @property
+    def z2(self) -> np.ndarray:
+        """``Z @ Z``, cached — the Schweitzer adjoints reuse it."""
+        if not self._z2_cache:
+            self._z2_cache.append(self.z @ self.z)
+        return self._z2_cache[0]
+
+    def solve_core(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``(I - P + W) x = rhs`` reusing the state's LU factors.
+
+        States assembled via :meth:`from_parts` carry no factors; the
+        core is factored lazily on first use (counted as one
+        factorization).
+        """
+        if not self._lu_cache:
+            perf.count("factorizations")
+            self._lu_cache.append(factor_core(self.p, self.pi))
+        factors: CoreFactorization = self._lu_cache[0]
+        return factors.solve(rhs)
 
     def exposure_times(self) -> np.ndarray:
         """Per-PoI average exposure times ``E-bar_i`` (Eq. 3).

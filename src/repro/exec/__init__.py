@@ -1,0 +1,29 @@
+"""Parallel execution layer: pluggable backends for multi-run drivers."""
+
+from repro.exec.executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskTimings,
+    ThreadExecutor,
+    default_executor,
+    get_executor,
+    resolve_executor,
+    set_default_executor,
+    using_executor,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "TaskTimings",
+    "default_executor",
+    "get_executor",
+    "resolve_executor",
+    "set_default_executor",
+    "using_executor",
+]

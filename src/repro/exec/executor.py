@@ -1,0 +1,282 @@
+"""Pluggable execution backends for embarrassingly parallel drivers.
+
+Every multi-run axis in the experiment stack — independent seeds in
+``run_many``, the start portfolio in ``optimize_multistart``, repeated
+simulations in ``simulate_repeatedly`` — is a pure fan-out: each task
+receives its own pre-spawned RNG stream (see
+:func:`repro.utils.rng.spawn_generators`) and touches no shared state.
+This module provides the executors that run such fan-outs:
+
+* ``serial`` — a plain loop, the default; zero overhead and the
+  reference behavior.
+* ``thread`` — :class:`concurrent.futures.ThreadPoolExecutor`; useful
+  when the work releases the GIL (BLAS-heavy tasks) or for I/O.
+* ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`; the
+  scaling backend for CPU-bound optimization.  Task functions and
+  payloads must be picklable (module-level functions; the library's
+  topologies, costs, options, and ``numpy`` generators all are).
+
+Determinism is the executors' contract: ``map`` preserves input order
+and each task's randomness comes exclusively from its payload, so all
+three backends produce **bit-identical** results for the same seed (the
+test suite enforces this).
+
+A process-wide *default executor* can be installed
+(:func:`set_default_executor` / :func:`using_executor`); drivers resolve
+``executor=None`` against it, which is how the CLI's ``--jobs`` flag
+reaches every experiment without threading a parameter through each
+call chain.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.utils import perf
+
+#: Names accepted by :func:`get_executor` and the CLI ``--backend`` flag.
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass
+class TaskTimings:
+    """Wall-clock accounting for one executor's lifetime."""
+
+    tasks: int = 0
+    task_seconds: float = 0.0
+    max_task_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    def record_task(self, seconds: float) -> None:
+        self.tasks += 1
+        self.task_seconds += seconds
+        self.max_task_seconds = max(self.max_task_seconds, seconds)
+
+
+def _timed_call(fn: Callable, item):
+    """Run one task, returning ``(result, seconds)``.
+
+    Module-level so ``(fn, item)`` payloads pickle for the process
+    backend; the per-task time is measured inside the worker.
+    """
+    start = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - start
+
+
+class Executor:
+    """Base class: ordered ``map`` over independent tasks.
+
+    Subclasses implement :meth:`_run`; ``map`` wraps it with timing
+    instrumentation (accumulated on :attr:`timings` and in any active
+    :func:`repro.utils.perf.perf_scope`).
+    """
+
+    name = "abstract"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs or (os.cpu_count() or 1)
+        self.timings = TaskTimings()
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        """Apply ``fn`` to every item; results in input order.
+
+        The first task exception propagates (remaining tasks may be
+        cancelled), matching the serial loop's behavior.
+        """
+        items = list(items)
+        start = time.perf_counter()
+        pairs = self._run(fn, items)
+        self.timings.wall_seconds += time.perf_counter() - start
+        results = []
+        for result, seconds in pairs:
+            self.timings.record_task(seconds)
+            perf.count("executor_tasks")
+            perf.count("executor_task_seconds", seconds)
+            results.append(result)
+        return results
+
+    def _run(self, fn: Callable, items: List):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources; the serial executor is a no-op."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """The reference backend: a plain in-process loop."""
+
+    name = "serial"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__(jobs=1 if jobs is None else jobs)
+
+    def _run(self, fn: Callable, items: List):
+        return [_timed_call(fn, item) for item in items]
+
+
+class _PoolExecutor(Executor):
+    """Shared machinery for the ``concurrent.futures`` backends."""
+
+    _pool_type = None
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__(jobs=jobs)
+        self._pool = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                self._pool = self._pool_type(max_workers=self.jobs)
+            return self._pool
+
+    def _run(self, fn: Callable, items: List):
+        pool = self._ensure_pool()
+        futures = [pool.submit(_timed_call, fn, item) for item in items]
+        pairs = []
+        error = None
+        for future in futures:
+            if error is not None:
+                future.cancel()
+                continue
+            try:
+                pairs.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                error = exc
+        if error is not None:
+            raise error
+        return pairs
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend; worthwhile when tasks release the GIL."""
+
+    name = "thread"
+    _pool_type = ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend for CPU-bound fan-outs.
+
+    Tasks cross a pickle boundary: only module-level functions with
+    picklable payloads are accepted (everything the built-in drivers
+    submit qualifies).  Per-run perf counters still come back attached
+    to each :class:`~repro.core.result.OptimizationResult`; ambient
+    :func:`~repro.utils.perf.perf_scope` counters in the parent do not
+    see child-process increments.
+    """
+
+    name = "process"
+    _pool_type = ProcessPoolExecutor
+
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def get_executor(
+    backend: str = "serial", jobs: Optional[int] = None
+) -> Executor:
+    """Construct an executor by backend name (``--backend`` semantics)."""
+    try:
+        factory = _EXECUTORS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; valid: {sorted(_EXECUTORS)}"
+        ) from None
+    return factory(jobs=jobs)
+
+
+_default_lock = threading.Lock()
+_default_executor: Optional[Executor] = None
+
+
+def default_executor() -> Executor:
+    """The process-wide default executor (serial unless installed)."""
+    with _default_lock:
+        global _default_executor
+        if _default_executor is None:
+            _default_executor = SerialExecutor()
+        return _default_executor
+
+
+def set_default_executor(
+    executor: Optional[Executor],
+) -> Optional[Executor]:
+    """Install ``executor`` as the default; returns the previous one.
+
+    ``None`` resets to the serial default.
+    """
+    with _default_lock:
+        global _default_executor
+        previous = _default_executor
+        _default_executor = executor
+        return previous
+
+
+@contextmanager
+def using_executor(
+    executor: Union[Executor, str, None], jobs: Optional[int] = None
+):
+    """Scope a default executor for the ``with`` block.
+
+    Accepts an :class:`Executor`, a backend name (constructed with
+    ``jobs`` workers and closed on exit), or ``None`` (serial).
+    """
+    owned = isinstance(executor, str) or executor is None
+    resolved = (
+        get_executor(executor or "serial", jobs=jobs) if owned
+        else executor
+    )
+    previous = set_default_executor(resolved)
+    try:
+        yield resolved
+    finally:
+        set_default_executor(previous)
+        if owned:
+            resolved.close()
+
+
+def resolve_executor(
+    executor: Union[Executor, str, None] = None,
+    jobs: Optional[int] = None,
+) -> Executor:
+    """Resolve a driver's ``executor`` argument.
+
+    ``None`` yields the process-wide default (serial unless one was
+    installed via :func:`set_default_executor`/:func:`using_executor`);
+    a string constructs that backend; an :class:`Executor` passes
+    through.
+    """
+    if executor is None:
+        return default_executor()
+    if isinstance(executor, str):
+        return get_executor(executor, jobs=jobs)
+    return executor

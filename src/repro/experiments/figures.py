@@ -46,6 +46,7 @@ def _cdf_figure(
     runs: Optional[int],
     iterations: Optional[int],
     seed: int,
+    executor=None,
 ) -> FigureResult:
     scale = current_scale()
     topology = topology or paper_topology(1)
@@ -55,12 +56,16 @@ def _cdf_figure(
 
     adaptive = [
         r.best_u_eps
-        for r in run_many(cost, "adaptive", runs, iterations, seed=seed)
+        for r in run_many(
+            cost, "adaptive", runs, iterations, seed=seed,
+            executor=executor,
+        )
     ]
     perturbed = [
         r.best_u_eps
         for r in run_many(
-            cost, "perturbed", runs, iterations, seed=seed + 999
+            cost, "perturbed", runs, iterations, seed=seed + 999,
+            executor=executor,
         )
     ]
     series = []
@@ -98,10 +103,12 @@ def figure2a(
     runs: Optional[int] = None,
     iterations: Optional[int] = None,
     seed: int = 0,
+    executor=None,
 ) -> FigureResult:
     """Fig. 2(a): CDFs for the exposure-only cost (alpha=0, beta=1)."""
     return _cdf_figure(
-        "Figure 2a", 0.0, 1.0, topology, runs, iterations, seed
+        "Figure 2a", 0.0, 1.0, topology, runs, iterations, seed,
+        executor=executor,
     )
 
 
@@ -110,10 +117,12 @@ def figure2b(
     runs: Optional[int] = None,
     iterations: Optional[int] = None,
     seed: int = 0,
+    executor=None,
 ) -> FigureResult:
     """Fig. 2(b): CDFs for the combined cost (alpha=1, beta=1)."""
     return _cdf_figure(
-        "Figure 2b", 1.0, 1.0, topology, runs, iterations, seed
+        "Figure 2b", 1.0, 1.0, topology, runs, iterations, seed,
+        executor=executor,
     )
 
 

@@ -4,6 +4,15 @@ Everything the per-table/per-figure code has in common: running an
 algorithm across many independent seeds, optimizing one weight setting
 with the multi-start portfolio, and simulating a matrix repeatedly to get
 percentile bands.
+
+All three drivers fan out over independent tasks and accept an
+``executor`` argument (see :mod:`repro.exec`): ``None`` uses the ambient
+default installed by :func:`repro.exec.using_executor` (how the CLI's
+``--jobs`` flag reaches here), a backend name (``"serial"``,
+``"thread"``, ``"process"``) constructs one, and an
+:class:`~repro.exec.Executor` instance is used as-is.  Each task's
+randomness comes from its own pre-spawned stream, so results are
+bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -18,9 +27,35 @@ from repro.core.cost import CostWeights, CoverageCost
 from repro.core.multistart import optimize_multistart
 from repro.core.perturbed import PerturbedOptions, optimize_perturbed
 from repro.core.result import OptimizationResult
+from repro.exec import resolve_executor
 from repro.simulation.engine import SimulationOptions, simulate_schedule
 from repro.topology.model import Topology
 from repro.utils.rng import spawn_generators
+
+
+def _run_one(task) -> OptimizationResult:
+    """One ``run_many`` task; module-level so it pickles for processes."""
+    algorithm, cost, iterations, trisection_rounds, rng = task
+    if algorithm == "adaptive":
+        return optimize_adaptive(
+            cost,
+            seed=rng,
+            options=AdaptiveOptions(
+                max_iterations=iterations,
+                trisection_rounds=trisection_rounds,
+                record_history=False,
+            ),
+        )
+    return optimize_perturbed(
+        cost,
+        seed=rng,
+        options=PerturbedOptions(
+            max_iterations=iterations,
+            trisection_rounds=trisection_rounds,
+            stall_limit=max(iterations, 1),
+            record_history=False,
+        ),
+    )
 
 
 def run_many(
@@ -30,45 +65,24 @@ def run_many(
     iterations: int,
     seed: int = 0,
     trisection_rounds: int = 20,
+    executor=None,
 ) -> List[OptimizationResult]:
     """Run ``algorithm`` (``"adaptive"`` or ``"perturbed"``) ``runs`` times.
 
     Each run draws an independent random initial matrix (the paper's V2
-    recipe) from an independent RNG stream.  History recording is off:
+    recipe) from an independent RNG stream, so the result list does not
+    depend on which backend executes the runs.  History recording is off:
     multi-run experiments only need the achieved costs.
     """
     if algorithm not in ("adaptive", "perturbed"):
         raise ValueError(
             f"algorithm must be 'adaptive' or 'perturbed', got {algorithm!r}"
         )
-    results = []
-    for rng in spawn_generators(seed, runs):
-        if algorithm == "adaptive":
-            results.append(
-                optimize_adaptive(
-                    cost,
-                    seed=rng,
-                    options=AdaptiveOptions(
-                        max_iterations=iterations,
-                        trisection_rounds=trisection_rounds,
-                        record_history=False,
-                    ),
-                )
-            )
-        else:
-            results.append(
-                optimize_perturbed(
-                    cost,
-                    seed=rng,
-                    options=PerturbedOptions(
-                        max_iterations=iterations,
-                        trisection_rounds=trisection_rounds,
-                        stall_limit=max(iterations, 1),
-                        record_history=False,
-                    ),
-                )
-            )
-    return results
+    tasks = [
+        (algorithm, cost, iterations, trisection_rounds, rng)
+        for rng in spawn_generators(seed, runs)
+    ]
+    return resolve_executor(executor).map(_run_one, tasks)
 
 
 def optimize_weight_setting(
@@ -80,6 +94,7 @@ def optimize_weight_setting(
     seed: int = 0,
     epsilon: float = 1e-4,
     initial: Optional[np.ndarray] = None,
+    executor=None,
 ) -> OptimizationResult:
     """Best matrix for one ``(alpha, beta)`` weighting.
 
@@ -101,6 +116,7 @@ def optimize_weight_setting(
         random_starts=random_starts,
         seed=seed,
         options=options,
+        executor=executor,
     )
     best = multi.best
     if initial is not None:
@@ -121,6 +137,18 @@ class SimulationBand:
     p75: float
 
 
+def _simulate_one(task):
+    """One ``simulate_repeatedly`` task (module-level for pickling)."""
+    topology, matrix, transitions, warmup, rng = task
+    return simulate_schedule(
+        topology,
+        matrix,
+        transitions=transitions,
+        seed=rng,
+        options=SimulationOptions(warmup=warmup),
+    )
+
+
 def simulate_repeatedly(
     topology: Topology,
     matrix: np.ndarray,
@@ -128,22 +156,16 @@ def simulate_repeatedly(
     repetitions: int,
     seed: int = 0,
     warmup: Optional[int] = None,
+    executor=None,
 ):
     """Simulate ``matrix`` several times; return the per-run results."""
     if warmup is None:
         warmup = max(transitions // 10, 100)
-    results = []
-    for rng in spawn_generators(seed, repetitions):
-        results.append(
-            simulate_schedule(
-                topology,
-                matrix,
-                transitions=transitions,
-                seed=rng,
-                options=SimulationOptions(warmup=warmup),
-            )
-        )
-    return results
+    tasks = [
+        (topology, matrix, transitions, warmup, rng)
+        for rng in spawn_generators(seed, repetitions)
+    ]
+    return resolve_executor(executor).map(_simulate_one, tasks)
 
 
 def metric_band(values: Sequence[float]) -> SimulationBand:

@@ -73,6 +73,7 @@ def run_weight_sweep(
     iterations: Optional[int] = None,
     random_starts: Optional[int] = None,
     seed: int = 0,
+    executor=None,
 ) -> List[SweepEntry]:
     """Optimize every ``(alpha, beta)`` in ``ratios`` with continuation.
 
@@ -101,6 +102,7 @@ def run_weight_sweep(
             random_starts=random_starts,
             seed=seed + 1000 * index,
             initial=previous,
+            executor=executor,
         )
         matrix = result.best_matrix
         # Report metrics with a metric-only cost (weights do not matter for
@@ -192,6 +194,7 @@ def table3(
     runs: Optional[int] = None,
     iterations: Optional[int] = None,
     seed: int = 0,
+    executor=None,
 ) -> TableResult:
     """Table III: adaptive vs perturbed over many runs (alpha=0, beta=1).
 
@@ -207,12 +210,16 @@ def table3(
 
     adaptive = [
         r.best_u_eps
-        for r in run_many(cost, "adaptive", runs, iterations, seed=seed)
+        for r in run_many(
+            cost, "adaptive", runs, iterations, seed=seed,
+            executor=executor,
+        )
     ]
     perturbed = [
         r.best_u_eps
         for r in run_many(
-            cost, "perturbed", runs, iterations, seed=seed + 777
+            cost, "perturbed", runs, iterations, seed=seed + 777,
+            executor=executor,
         )
     ]
     rows = [
@@ -244,6 +251,7 @@ def table4(
     transitions: Optional[int] = None,
     repetitions: Optional[int] = None,
     seed: int = 0,
+    executor=None,
 ) -> TableResult:
     """Table IV: realized ``Delta C`` / ``E-bar`` from actual simulations.
 
@@ -258,7 +266,8 @@ def table4(
     repetitions = repetitions or scale.sim_repetitions
 
     sweep = run_weight_sweep(
-        topology, ratios=ratios, iterations=iterations, seed=seed
+        topology, ratios=ratios, iterations=iterations, seed=seed,
+        executor=executor,
     )
     rows = []
     raw_runs = {}
@@ -269,6 +278,7 @@ def table4(
             transitions=transitions,
             repetitions=repetitions,
             seed=seed + 13,
+            executor=executor,
         )
         measured_dc = metric_band([s.delta_c for s in simulations])
         measured_e = metric_band(

@@ -14,6 +14,8 @@ These are the ingredients of the total cost derivative ``[D_P U]``
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.utils.validation import check_square
@@ -30,14 +32,23 @@ def stationary_derivative(
 
 
 def fundamental_derivative(
-    pi: np.ndarray, z: np.ndarray, dp: np.ndarray
+    pi: np.ndarray,
+    z: np.ndarray,
+    dp: np.ndarray,
+    z2: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Directional derivative ``dZ = Z dP Z - W dP Z^2``."""
+    """Directional derivative ``dZ = Z dP Z - W dP Z^2``.
+
+    ``z2`` may be supplied as a precomputed ``Z @ Z`` (e.g.
+    :attr:`~repro.core.state.ChainState.z2`) to skip one dense product.
+    """
     pi = np.asarray(pi, dtype=float)
     z = check_square("z", z)
     dp = check_square("dp", dp)
+    if z2 is None:
+        z2 = z @ z
     w = np.tile(pi, (z.shape[0], 1))
-    return z @ dp @ z - w @ dp @ (z @ z)
+    return z @ dp @ z - w @ dp @ z2
 
 
 def adjoint_stationary_term(
@@ -59,7 +70,10 @@ def adjoint_stationary_term(
 
 
 def adjoint_fundamental_term(
-    pi: np.ndarray, z: np.ndarray, grad_z: np.ndarray
+    pi: np.ndarray,
+    z: np.ndarray,
+    grad_z: np.ndarray,
+    z2: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Adjoint of ``dP -> dZ`` applied to ``grad_z``.
 
@@ -69,12 +83,17 @@ def adjoint_fundamental_term(
                = (Z^T grad_z Z^T)_kl - pi_k (Z^2 grad_z^T 1)_l``
 
     — the second bracket of Eq. (10), assembled with three matrix products
-    instead of a quadruple loop.
+    instead of a quadruple loop.  ``z2`` may be supplied as a precomputed
+    ``Z @ Z`` (the per-iterate cache on
+    :class:`~repro.core.state.ChainState`) so repeated adjoint
+    evaluations at the same iterate share it.
     """
     pi = np.asarray(pi, dtype=float)
     z = check_square("z", z)
     grad_z = check_square("grad_z", grad_z)
+    if z2 is None:
+        z2 = z @ z
     first = z.T @ grad_z @ z.T
     column_sums = grad_z.sum(axis=0)  # s_j = sum_i grad_z_ij
-    second = np.outer(pi, (z @ z) @ column_sums)
+    second = np.outer(pi, z2 @ column_sums)
     return first - second

@@ -1,0 +1,135 @@
+"""Lightweight performance counters for the linear-algebra hot path.
+
+The optimizer's cost is dominated by dense ``O(M^3)`` work: factorizing
+``(I - P + W)`` and solving the stationary system for every
+:class:`~repro.core.state.ChainState`, plus the stacked solves of the
+batched line search.  This module counts that work so regressions in the
+"factorizations per step" budget are measurable rather than anecdotal
+(see ``docs/performance.md`` for the counter semantics).
+
+Counting is scope-based: any code can open a :func:`perf_scope`, and all
+counters incremented while the scope is active — including from worker
+threads — accumulate into it.  Scopes nest; increments go to every
+active scope.  Worker *processes* have their own module state, so
+process-parallel runs report per-run counters via the
+:class:`OptimizerPerf` attached to each
+:class:`~repro.core.result.OptimizationResult` (which travels back
+through pickling) rather than via an ambient scope.
+
+With no active scope every hook is a cheap no-op.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+
+
+@dataclass(eq=False)
+class PerfCounters:
+    """Tallies of the expensive operations.
+
+    ``factorizations`` counts *scalar* dense decompositions (one LU or
+    linear solve of a single ``M x M`` system).  Batched line-search
+    work is tracked separately: ``batch_calls`` stacked evaluations
+    covering ``batch_matrices`` matrices in total (each batched matrix
+    costs one stacked solve plus one stacked inversion, but never a
+    per-matrix Python round trip).
+
+    ``eq=False``: scope bookkeeping removes a finished scope's counters
+    from the active list by identity; value equality would let two
+    concurrent scopes with equal tallies remove each other's entry.
+    """
+
+    factorizations: int = 0
+    state_builds: int = 0
+    states_reused: int = 0
+    batch_calls: int = 0
+    batch_matrices: int = 0
+    executor_tasks: int = 0
+    executor_task_seconds: float = 0.0
+
+    def add(self, name: str, amount=1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> "PerfCounters":
+        """An independent copy of the current tallies."""
+        return PerfCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+
+_lock = threading.Lock()
+_active = []  # type: list
+
+
+def count(name: str, amount=1) -> None:
+    """Add ``amount`` to counter ``name`` in every active scope."""
+    if not _active:
+        return
+    with _lock:
+        for counters in _active:
+            counters.add(name, amount)
+
+
+@contextmanager
+def perf_scope():
+    """Collect counters for the duration of the ``with`` block.
+
+    Yields the live :class:`PerfCounters`; read it inside or after the
+    block.  Scopes nest: increments are applied to every active scope,
+    so an outer experiment scope sees the sum over inner optimizer
+    scopes.
+    """
+    counters = PerfCounters()
+    with _lock:
+        _active.append(counters)
+    try:
+        yield counters
+    finally:
+        with _lock:
+            _active.remove(counters)
+
+
+@dataclass
+class OptimizerPerf:
+    """Per-run hot-path statistics attached to an OptimizationResult.
+
+    ``accept_factorizations`` counts the *scalar* factorizations spent
+    constructing accepted candidates' states — zero when the line
+    search's winning probe is handed back instead of rebuilt.  The
+    derived :meth:`factorizations_per_accepted_step` adds one for the
+    batched line-search evaluation that produced each accepted
+    candidate, so the historical rebuild-from-scratch behavior scores 3
+    (batch + stationary solve + fundamental LU) and the sharing path
+    scores 1.
+    """
+
+    factorizations: int = 0
+    state_builds: int = 0
+    states_reused: int = 0
+    batch_calls: int = 0
+    batch_matrices: int = 0
+    accepted_steps: int = 0
+    accept_factorizations: int = 0
+    seconds: float = 0.0
+
+    @classmethod
+    def from_counters(cls, counters: PerfCounters, **extra):
+        """Build from a scope's counters plus optimizer-level fields."""
+        return cls(
+            factorizations=counters.factorizations,
+            state_builds=counters.state_builds,
+            states_reused=counters.states_reused,
+            batch_calls=counters.batch_calls,
+            batch_matrices=counters.batch_matrices,
+            **extra,
+        )
+
+    def factorizations_per_accepted_step(self) -> float:
+        """Average dense factorizations charged per accepted step."""
+        if self.accepted_steps == 0:
+            return 0.0
+        return self.accept_factorizations / self.accepted_steps + 1.0

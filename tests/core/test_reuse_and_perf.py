@@ -1,0 +1,207 @@
+"""Line-search state reuse, perf counters, and batched-state parity.
+
+The hot-path contract: handing the line search's winning probe's
+``(pi, Z)`` to the optimizer must not change trajectories at all — the
+reuse-on and reuse-off paths produce **bit-identical** iterates — while
+dropping the dense factorization count per accepted step from 3 to 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CostWeights, CoverageCost, paper_topology
+from repro.core.adaptive import AdaptiveOptions, optimize_adaptive
+from repro.core.perturbed import PerturbedOptions, optimize_perturbed
+from repro.core.state import ChainState
+
+
+@pytest.fixture
+def cost():
+    return CoverageCost(
+        paper_topology(1), CostWeights(alpha=1.0, beta=1.0)
+    )
+
+
+@pytest.fixture
+def extended_cost():
+    """Every term enabled — energy and entropy extensions included."""
+    return CoverageCost(
+        paper_topology(2),
+        CostWeights(
+            alpha=1.0, beta=1e-2, epsilon=1e-3,
+            energy_weight=1e-4, energy_target=10.0,
+            entropy_weight=1e-3,
+        ),
+    )
+
+
+class TestReuseTrajectoryIdentity:
+    def test_perturbed_bit_identical(self, cost):
+        on = optimize_perturbed(
+            cost, seed=7,
+            options=PerturbedOptions(
+                max_iterations=40, record_history=False, stall_limit=100
+            ),
+        )
+        off = optimize_perturbed(
+            cost, seed=7,
+            options=PerturbedOptions(
+                max_iterations=40, record_history=False, stall_limit=100,
+                reuse_linesearch_state=False,
+            ),
+        )
+        assert on.best_u_eps == off.best_u_eps
+        assert np.array_equal(on.best_matrix, off.best_matrix)
+
+    def test_adaptive_bit_identical(self, cost):
+        on = optimize_adaptive(
+            cost, seed=7, options=AdaptiveOptions(max_iterations=40)
+        )
+        off = optimize_adaptive(
+            cost, seed=7,
+            options=AdaptiveOptions(
+                max_iterations=40, reuse_linesearch_state=False
+            ),
+        )
+        assert on.u_eps == off.u_eps
+        assert np.array_equal(on.matrix, off.matrix)
+        for a, b in zip(on.history, off.history):
+            assert a.u_eps == b.u_eps
+            assert a.step == b.step
+
+    def test_extended_terms_bit_identical(self, extended_cost):
+        on = optimize_perturbed(
+            extended_cost, seed=11,
+            options=PerturbedOptions(
+                max_iterations=25, record_history=False, stall_limit=100
+            ),
+        )
+        off = optimize_perturbed(
+            extended_cost, seed=11,
+            options=PerturbedOptions(
+                max_iterations=25, record_history=False, stall_limit=100,
+                reuse_linesearch_state=False,
+            ),
+        )
+        assert on.best_u_eps == off.best_u_eps
+
+
+class TestPerfCounters:
+    def test_reuse_drops_accept_factorizations_to_zero(self, cost):
+        result = optimize_perturbed(
+            cost, seed=3,
+            options=PerturbedOptions(
+                max_iterations=30, record_history=False, stall_limit=100
+            ),
+        )
+        perf = result.perf
+        assert perf is not None
+        assert perf.accepted_steps > 0
+        assert perf.accept_factorizations == 0
+        assert perf.factorizations_per_accepted_step() == 1.0
+        assert perf.states_reused >= perf.accepted_steps
+        assert perf.batch_calls > 0
+        assert perf.seconds > 0.0
+
+    def test_no_reuse_costs_three_per_accept(self, cost):
+        result = optimize_perturbed(
+            cost, seed=3,
+            options=PerturbedOptions(
+                max_iterations=30, record_history=False, stall_limit=100,
+                reuse_linesearch_state=False,
+            ),
+        )
+        perf = result.perf
+        assert perf.accepted_steps > 0
+        assert perf.factorizations_per_accepted_step() >= 3.0
+
+    def test_adaptive_counters(self, cost):
+        result = optimize_adaptive(
+            cost, seed=3,
+            options=AdaptiveOptions(
+                max_iterations=30, record_history=False
+            ),
+        )
+        perf = result.perf
+        assert perf is not None
+        if perf.accepted_steps:
+            assert perf.factorizations_per_accepted_step() == 1.0
+
+
+class TestBatchFeasibilityMask:
+    def test_entry_above_one_maps_to_inf(self, cost):
+        # All entries non-negative and the diagonal below one, so neither
+        # the >= 0 mask nor the diagonal mask fires: only the dedicated
+        # <= 1 mask can reject this stack member.
+        bad = np.full((4, 4), 0.25)
+        bad[0, 1] = 1.2
+        values = cost.batch_values(
+            np.stack([bad, np.full((4, 4), 0.25)])
+        )
+        assert np.isinf(values[0])
+        assert np.isfinite(values[1])
+
+    def test_negative_entry_maps_to_inf(self, cost):
+        bad = np.full((4, 4), 0.25)
+        bad[0, 0] = 0.5
+        bad[0, 1] = -0.25  # row still sums to one but leaves the box
+        values = cost.batch_values(bad[None])
+        assert np.isinf(values[0])
+
+    def test_batch_evaluate_returns_usable_states(self, extended_cost):
+        rng = np.random.default_rng(0)
+        size = extended_cost.size
+        stack = 0.05 + 0.8 * rng.dirichlet(
+            np.ones(size), size=(6, size)
+        )
+        stack = stack / stack.sum(axis=2, keepdims=True)
+        values, pis, zs, ok = extended_cost.batch_evaluate(stack)
+        assert ok.all()
+        for index in range(stack.shape[0]):
+            scalar = ChainState.from_matrix(stack[index])
+            assert pis[index] == pytest.approx(scalar.pi, rel=1e-12)
+            assert zs[index] == pytest.approx(scalar.z, rel=1e-9)
+            assert values[index] == pytest.approx(
+                extended_cost.value(scalar), rel=1e-10
+            )
+
+
+class TestRayBatchStateHandback:
+    def test_state_at_matches_scratch_build(self, cost, rng):
+        matrix = 0.05 + 0.8 * rng.dirichlet(np.ones(4), size=4)
+        matrix = matrix / matrix.sum(axis=1, keepdims=True)
+        state = ChainState.from_matrix(matrix)
+        direction = cost.descent_direction(state)
+        ray = cost.ray_batch(state.p, direction)
+        steps = np.array([1e-7, 1e-6, 1e-5])
+        values = ray(steps)
+        best = float(steps[int(np.argmin(values))])
+        winner = ray.state_at(best)
+        assert winner is not None
+        scratch = ChainState.from_matrix(winner.p, check=False)
+        assert np.array_equal(winner.pi, scratch.pi)
+        assert np.array_equal(winner.z, scratch.z)
+
+    def test_state_at_unknown_step_returns_none(self, cost, rng):
+        matrix = 0.05 + 0.8 * rng.dirichlet(np.ones(4), size=4)
+        matrix = matrix / matrix.sum(axis=1, keepdims=True)
+        state = ChainState.from_matrix(matrix)
+        direction = cost.descent_direction(state)
+        ray = cost.ray_batch(state.p, direction)
+        ray(np.array([1e-6]))
+        assert ray.state_at(3.3e-6) is None
+
+    def test_probe_state_matches_scalar(self, cost, rng):
+        matrix = 0.05 + 0.8 * rng.dirichlet(np.ones(4), size=4)
+        matrix = matrix / matrix.sum(axis=1, keepdims=True)
+        state = ChainState.from_matrix(matrix)
+        direction = cost.descent_direction(state)
+        ray = cost.ray_batch(state.p, direction)
+        value, probe = ray.probe_state(2e-6)
+        assert probe is not None
+        scratch = ChainState.from_matrix(
+            matrix + 2e-6 * direction, check=False
+        )
+        assert np.array_equal(probe.pi, scratch.pi)
+        assert np.array_equal(probe.z, scratch.z)
+        assert value == pytest.approx(cost.value(scratch), rel=1e-12)

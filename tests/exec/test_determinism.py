@@ -1,0 +1,113 @@
+"""Backend-invariance: identical results on serial/thread/process.
+
+The executors' core contract (see ISSUE-level acceptance criteria): every
+multi-run driver seeds its tasks from pre-spawned independent RNG
+streams, so the achieved results are **bit-identical** whichever backend
+executes them, and whatever the execution order.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CostWeights, CoverageCost, using_executor
+from repro.core.multistart import optimize_multistart
+from repro.core.perturbed import PerturbedOptions
+from repro.experiments.runner import run_many, simulate_repeatedly
+
+ITERATIONS = 12
+
+
+@pytest.fixture(scope="module")
+def cost():
+    from repro import paper_topology
+
+    return CoverageCost(
+        paper_topology(1), CostWeights(alpha=1.0, beta=1.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_reference(cost):
+    return run_many(
+        cost, "perturbed", runs=3, iterations=ITERATIONS, seed=5,
+        executor="serial",
+    )
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+class TestRunManyBackendInvariance:
+    def test_best_u_eps_bit_identical(
+        self, cost, serial_reference, backend
+    ):
+        results = run_many(
+            cost, "perturbed", runs=3, iterations=ITERATIONS, seed=5,
+            executor=backend,
+        )
+        for reference, result in zip(serial_reference, results):
+            assert result.best_u_eps == reference.best_u_eps
+            assert np.array_equal(
+                result.best_matrix, reference.best_matrix
+            )
+
+    def test_perf_counters_travel_back(
+        self, cost, serial_reference, backend
+    ):
+        results = run_many(
+            cost, "perturbed", runs=2, iterations=ITERATIONS, seed=5,
+            executor=backend,
+        )
+        for result in results:
+            assert result.perf is not None
+            assert result.perf.accepted_steps >= 0
+            assert result.perf.factorizations > 0
+
+
+class TestMultistartBackendInvariance:
+    def test_thread_matches_serial(self, cost):
+        options = PerturbedOptions(
+            max_iterations=ITERATIONS, record_history=False,
+            stall_limit=ITERATIONS + 1,
+        )
+        serial = optimize_multistart(
+            cost, random_starts=1, seed=2, options=options,
+            executor="serial",
+        )
+        threaded = optimize_multistart(
+            cost, random_starts=1, seed=2, options=options,
+            executor="thread",
+        )
+        assert serial.best.best_u_eps == threaded.best.best_u_eps
+        assert serial.start_labels == threaded.start_labels
+        for a, b in zip(serial.runs, threaded.runs):
+            assert a.best_u_eps == b.best_u_eps
+
+    def test_ambient_default_executor_is_used(self, cost):
+        options = PerturbedOptions(
+            max_iterations=ITERATIONS, record_history=False,
+            stall_limit=ITERATIONS + 1,
+        )
+        explicit = optimize_multistart(
+            cost, random_starts=1, seed=2, options=options,
+            executor="serial",
+        )
+        with using_executor("thread", jobs=2):
+            ambient = optimize_multistart(
+                cost, random_starts=1, seed=2, options=options
+            )
+        assert ambient.best.best_u_eps == explicit.best.best_u_eps
+
+
+class TestSimulateRepeatedlyBackendInvariance:
+    def test_thread_matches_serial(self, cost):
+        matrix = np.full((cost.size, cost.size), 1.0 / cost.size)
+        serial = simulate_repeatedly(
+            cost.topology, matrix, transitions=300, repetitions=3,
+            seed=9, executor="serial",
+        )
+        threaded = simulate_repeatedly(
+            cost.topology, matrix, transitions=300, repetitions=3,
+            seed=9, executor="thread",
+        )
+        for a, b in zip(serial, threaded):
+            assert np.array_equal(a.coverage_shares, b.coverage_shares)
+            assert a.delta_c == b.delta_c

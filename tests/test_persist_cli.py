@@ -188,3 +188,60 @@ class TestCliTeam:
         ]) == 0
         out = capsys.readouterr().out
         assert "union coverage" in out
+
+
+class TestCliParallel:
+    def test_parallel_flags_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["optimize", "--paper", "1", "--jobs", "4"],
+            ["experiment", "table1", "--jobs", "2",
+             "--backend", "thread"],
+            ["tradeoff", "--paper", "1", "--backend", "serial"],
+        ):
+            args = parser.parse_args(argv)
+            assert hasattr(args, "jobs")
+            assert hasattr(args, "backend")
+
+    def test_executor_spec_defaults(self):
+        from repro.cli import _executor_spec
+
+        parser = build_parser()
+
+        def spec(*extra):
+            return _executor_spec(
+                parser.parse_args(["experiment", "table1", *extra])
+            )
+
+        assert spec() == ("serial", None)
+        assert spec("--jobs", "1") == ("serial", 1)
+        assert spec("--jobs", "4") == ("process", 4)
+        assert spec("--jobs", "4", "--backend", "thread") == ("thread", 4)
+
+    def test_jobs_flag_installs_default_executor(self, monkeypatch):
+        from repro import cli
+        from repro.exec import ThreadExecutor, default_executor
+
+        seen = {}
+
+        def fake(seed=None):
+            from repro.experiments.reporting import TableResult
+
+            seen["executor"] = default_executor()
+            return TableResult(
+                experiment_id="T", title="t", columns=["c"], rows=[[1]]
+            )
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "table1", fake)
+        assert main([
+            "experiment", "table1", "--jobs", "2", "--backend", "thread",
+        ]) == 0
+        assert isinstance(seen["executor"], ThreadExecutor)
+        assert seen["executor"].jobs == 2
+
+    def test_optimize_multistart_with_jobs(self, capsys):
+        assert main([
+            "optimize", "--paper", "1", "--algorithm", "multistart",
+            "--iterations", "5", "--jobs", "2", "--backend", "thread",
+        ]) == 0
+        assert "U_eps=" in capsys.readouterr().out
