@@ -22,6 +22,8 @@ from typing import List, Optional
 
 import numpy as np
 
+import inspect
+
 import repro.experiments as experiments
 from repro import persist
 from repro.analysis.pareto import pareto_filter, tradeoff_curve
@@ -31,7 +33,11 @@ from repro.core.cost import CostWeights, CoverageCost
 from repro.core.descent import BasicDescentOptions, optimize_basic
 from repro.core.multistart import optimize_multistart
 from repro.core.perturbed import PerturbedOptions, optimize_perturbed
-from repro.simulation.engine import SimulationOptions, simulate_schedule
+from repro.simulation.engine import (
+    ENGINES,
+    SimulationOptions,
+    simulate_schedule,
+)
 from repro.topology.grid import grid_topology, line_topology
 from repro.topology.library import PAPER_TOPOLOGY_IDS, paper_topology
 from repro.topology.random_gen import random_topology
@@ -203,7 +209,7 @@ def _cmd_simulate(args) -> int:
         topology, matrix,
         transitions=args.transitions,
         seed=args.seed,
-        options=SimulationOptions(warmup=args.warmup),
+        options=SimulationOptions(warmup=args.warmup, engine=args.engine),
     )
     np.set_printoptions(precision=4, suppress=True)
     print(result.summary())
@@ -218,8 +224,16 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_experiment(args) -> int:
     function = EXPERIMENTS[args.name]
-    result = function(seed=args.seed) if args.seed is not None \
-        else function()
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.engine is not None:
+        if "engine" not in inspect.signature(function).parameters:
+            raise SystemExit(
+                f"experiment {args.name!r} does not take --engine"
+            )
+        kwargs["engine"] = args.engine
+    result = function(**kwargs)
     print(result.render())
     return 0
 
@@ -333,6 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--transitions", type=int, default=50_000)
     p_sim.add_argument("--warmup", type=int, default=1_000)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--engine", choices=ENGINES, default="vectorized",
+        help=(
+            "simulation implementation; both give bit-identical results "
+            "(default: vectorized)"
+        ),
+    )
     p_sim.set_defaults(handler=_cmd_simulate)
 
     p_exp = sub.add_parser(
@@ -340,6 +361,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--seed", type=int, default=None)
+    p_exp.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help=(
+            "simulation engine for simulation-backed experiments "
+            "(table4, figure6-8)"
+        ),
+    )
     _add_parallel_flags(p_exp)
     p_exp.set_defaults(handler=_cmd_experiment)
 

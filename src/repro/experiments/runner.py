@@ -139,13 +139,13 @@ class SimulationBand:
 
 def _simulate_one(task):
     """One ``simulate_repeatedly`` task (module-level for pickling)."""
-    topology, matrix, transitions, warmup, rng = task
+    topology, matrix, transitions, warmup, engine, rng = task
     return simulate_schedule(
         topology,
         matrix,
         transitions=transitions,
         seed=rng,
-        options=SimulationOptions(warmup=warmup),
+        options=SimulationOptions(warmup=warmup, engine=engine),
     )
 
 
@@ -157,12 +157,24 @@ def simulate_repeatedly(
     seed: int = 0,
     warmup: Optional[int] = None,
     executor=None,
+    engine: Optional[str] = None,
 ):
-    """Simulate ``matrix`` several times; return the per-run results."""
+    """Simulate ``matrix`` several times; return the per-run results.
+
+    ``engine`` picks the simulation implementation (``"vectorized"`` /
+    ``"loop"``; ``None`` uses the default).  Both give bit-identical
+    results — the knob exists for benchmarking and validation.
+    """
     if warmup is None:
         warmup = max(transitions // 10, 100)
+    if engine is None:
+        engine = SimulationOptions().engine
+    # Warm the chord-table cache before the tasks are built: every task
+    # (and every pickled copy shipped to process workers) then reuses the
+    # one precomputed geometry instead of redoing the O(M^3) intersections.
+    topology.chord_table()
     tasks = [
-        (topology, matrix, transitions, warmup, rng)
+        (topology, matrix, transitions, warmup, engine, rng)
         for rng in spawn_generators(seed, repetitions)
     ]
     return resolve_executor(executor).map(_simulate_one, tasks)

@@ -133,6 +133,43 @@ def _check_simulation_match(iterations: int, seed: int) -> List[Criterion]:
     ]
 
 
+def _check_engine_equivalence(seed: int) -> List[Criterion]:
+    """Vectorized and loop engines agree bit-for-bit on a real topology."""
+    from dataclasses import fields
+
+    from repro.simulation.engine import SimulationOptions, simulate_schedule
+
+    topology = paper_topology(2)
+    matrix = np.full((topology.size, topology.size), 1.0 / topology.size)
+    results = {
+        engine: simulate_schedule(
+            topology, matrix, transitions=2_000, seed=seed,
+            options=SimulationOptions(
+                warmup=100, record_path=True, engine=engine
+            ),
+        )
+        for engine in ("loop", "vectorized")
+    }
+    mismatched = []
+    for field in fields(results["loop"]):
+        loop_value = np.asarray(getattr(results["loop"], field.name))
+        vec_value = np.asarray(getattr(results["vectorized"], field.name))
+        equal_nan = loop_value.dtype.kind == "f"
+        if not np.array_equal(loop_value, vec_value, equal_nan=equal_nan):
+            mismatched.append(field.name)
+    return [
+        Criterion(
+            name="vectorized engine matches loop engine bit-for-bit",
+            passed=not mismatched,
+            detail=(
+                "all SimulationResult fields identical"
+                if not mismatched
+                else f"mismatched fields: {', '.join(mismatched)}"
+            ),
+        )
+    ]
+
+
 def _check_gradient(seed: int) -> List[Criterion]:
     """Analytic Eq. (10) gradient vs finite differences."""
     from repro.core.gradient import directional_derivative
@@ -179,6 +216,7 @@ def validate_reproduction(
     """
     criteria: List[Criterion] = []
     criteria.extend(_check_gradient(seed))
+    criteria.extend(_check_engine_equivalence(seed))
     criteria.extend(_check_tradeoff(iterations, seed))
     criteria.extend(_check_local_optima(iterations, runs, seed))
     criteria.extend(_check_simulation_match(iterations, seed))

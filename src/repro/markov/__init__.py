@@ -32,7 +32,7 @@ from repro.markov.perturbation import (
     fundamental_derivative,
 )
 from repro.markov.entropy import entropy_rate
-from repro.markov.sampling import sample_path
+from repro.markov.sampling import replay_uniforms, sample_path
 
 __all__ = [
     "MarkovChain",
@@ -50,5 +50,6 @@ __all__ = [
     "stationary_derivative",
     "fundamental_derivative",
     "entropy_rate",
+    "replay_uniforms",
     "sample_path",
 ]

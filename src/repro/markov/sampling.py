@@ -2,17 +2,51 @@
 
 Used by the sensor simulator (which adds the physical timing on top) and by
 tests that verify ergodic averages against analytic quantities.
+
+The sampler is split into two stages so whole paths can be pre-sampled
+cheaply: the uniforms for every decision point are drawn in one vectorized
+RNG call, then :func:`replay_uniforms` walks them through the row CDFs with
+a C-implemented inverse-CDF lookup per step.  The walk consumes the RNG
+stream exactly like the historical one-``searchsorted``-per-step loop, so
+sampled paths are bit-identical to it.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Optional
 
 import numpy as np
 
 from repro.utils.rng import RandomState, as_generator
-from repro.utils.linalg import is_row_stochastic
+from repro.utils.linalg import cumulative_rows, is_row_stochastic
 from repro.utils.validation import check_index, check_square
+
+
+def replay_uniforms(
+    cumulative: np.ndarray,
+    draws: np.ndarray,
+    start: int,
+) -> np.ndarray:
+    """Walk pre-drawn uniforms through row CDFs; return the state path.
+
+    ``cumulative`` is the output of
+    :func:`repro.utils.linalg.cumulative_rows`; ``draws`` holds one
+    uniform per transition.  Step ``n`` maps ``draws[n]`` through the
+    current state's cumulative row with a right-bisection — exactly
+    ``np.searchsorted(cumulative[state], u, side="right")``, but via
+    :func:`bisect.bisect_right` over plain Python lists, which skips the
+    per-call NumPy dispatch overhead that dominates one-draw lookups.
+    The returned path has length ``len(draws) + 1`` (start included).
+    """
+    rows = cumulative.tolist()
+    state = int(start)
+    path = [state]
+    append = path.append
+    for u in draws.tolist():
+        state = bisect_right(rows[state], u)
+        append(state)
+    return np.asarray(path, dtype=np.int64)
 
 
 def sample_path(
@@ -38,17 +72,7 @@ def sample_path(
         start = int(rng.integers(count))
     else:
         start = check_index("start", start, count)
-    cumulative = np.cumsum(matrix, axis=1)
-    # Guard against rows summing to 1 - 1e-16: force the last bin to 1.
-    cumulative[:, -1] = 1.0
-    path = np.empty(steps + 1, dtype=np.int64)
-    path[0] = start
-    draws = rng.random(steps)
-    state = start
-    for n in range(steps):
-        state = int(np.searchsorted(cumulative[state], draws[n], side="right"))
-        path[n + 1] = state
-    return path
+    return replay_uniforms(cumulative_rows(matrix), rng.random(steps), start)
 
 
 def empirical_transition_matrix(path: np.ndarray, size: int) -> np.ndarray:

@@ -18,11 +18,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.geometry.coverage import chord_through_disc
-from repro.geometry.segments import Segment
 from repro.simulation.events import IntervalAccumulator
 from repro.topology.model import Topology
-from repro.utils.linalg import is_row_stochastic
+from repro.utils.linalg import cumulative_rows, is_row_stochastic
 from repro.utils.rng import RandomState, spawn_generators
 from repro.utils.validation import check_square
 
@@ -78,25 +76,17 @@ def _sensor_intervals(
     Intervals are clipped to ``[0, horizon]`` and emitted in start order.
     """
     size = topology.size
-    cumulative = np.cumsum(matrix, axis=1)
-    cumulative[:, -1] = 1.0
-    positions = topology.positions
+    cumulative = cumulative_rows(matrix)
     travel_times = topology.travel_times
     pauses = topology.pause_times
-    radius = topology.sensing_radius
 
-    chords = {}
-    for origin in range(size):
-        for destination in range(size):
-            if origin == destination:
-                continue
-            segment = Segment(positions[origin], positions[destination])
-            legs = []
-            for poi in range(size):
-                chord = chord_through_disc(segment, positions[poi], radius)
-                if chord is not None:
-                    legs.append((poi, chord[0], chord[1]))
-            chords[origin, destination] = legs
+    table = topology.chord_table()
+    chords = {
+        (origin, destination): table.leg(origin, destination)
+        for origin in range(size)
+        for destination in range(size)
+        if origin != destination
+    }
 
     intervals: List[List[tuple]] = [[] for _ in range(size)]
     state = int(rng.integers(size)) if start is None else start

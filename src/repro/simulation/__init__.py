@@ -8,9 +8,19 @@ both the paper's transition-count convention and real physical time
 (Section VI-D compares the two).
 """
 
-from repro.simulation.engine import SimulationOptions, simulate_schedule
+from repro.simulation.engine import (
+    ENGINES,
+    SimulationOptions,
+    simulate_schedule,
+)
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.events import ExposureTracker, IntervalAccumulator
+from repro.simulation.intervals import (
+    count_caught,
+    gap_lengths,
+    grouped_coverage,
+    merge_intervals,
+)
 from repro.simulation.capture import (
     CaptureResult,
     capture_probability_approximation,
@@ -18,11 +28,16 @@ from repro.simulation.capture import (
 )
 
 __all__ = [
+    "ENGINES",
     "SimulationOptions",
     "SimulationResult",
     "simulate_schedule",
     "ExposureTracker",
     "IntervalAccumulator",
+    "merge_intervals",
+    "gap_lengths",
+    "count_caught",
+    "grouped_coverage",
     "CaptureResult",
     "simulate_event_capture",
     "capture_probability_approximation",

@@ -30,6 +30,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.multisensor.engine import _sensor_intervals
+from repro.simulation.intervals import (
+    count_caught,
+    gap_lengths,
+    merge_intervals,
+)
 from repro.topology.model import Topology
 from repro.utils.linalg import is_row_stochastic
 from repro.utils.rng import RandomState, spawn_generators
@@ -125,12 +130,19 @@ def simulate_event_capture(
     coverage = np.zeros(size)
     gaps = np.full(size, np.nan)
     for poi in range(size):
-        merged = _merge(intervals[poi])
-        covered = sum(hi - lo for lo, hi in merged)
+        raw = np.asarray(intervals[poi], dtype=float).reshape(-1, 2)
+        merged_starts, merged_ends = merge_intervals(raw[:, 0], raw[:, 1])
+        # Sequential cumsum keeps the sum order of the historical
+        # one-interval-at-a-time accumulation.
+        covered = (
+            float(np.cumsum(merged_ends - merged_starts)[-1])
+            if merged_starts.size
+            else 0.0
+        )
         coverage[poi] = covered / horizon
-        gap_lengths = _gap_lengths(merged, horizon)
-        if gap_lengths:
-            gaps[poi] = float(np.mean(gap_lengths))
+        uncovered = gap_lengths(merged_starts, merged_ends, horizon=horizon)
+        if uncovered.size:
+            gaps[poi] = float(np.mean(uncovered))
         if rates[poi] == 0:
             continue
         count = event_rng.poisson(rates[poi] * horizon)
@@ -138,7 +150,9 @@ def simulate_event_capture(
         if count == 0:
             continue
         times = np.sort(event_rng.uniform(0.0, horizon, size=count))
-        caught = _count_caught(merged, times, lifetime, horizon)
+        caught = count_caught(
+            merged_starts, merged_ends, times, lifetime, horizon
+        )
         capture[poi] = caught / count
     return CaptureResult(
         capture_fraction=capture,
@@ -173,39 +187,23 @@ def capture_probability_approximation(
                     c + (1.0 - c) * residual)
 
 
+# List-of-tuples compatibility shims over the array kernels in
+# :mod:`repro.simulation.intervals`; kept because tests exercise the
+# interval logic through these historical signatures.
+
+
 def _merge(intervals) -> list:
-    merged = []
-    for lo, hi in sorted(intervals, key=lambda pair: pair[0]):
-        if merged and lo <= merged[-1][1]:
-            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
-        else:
-            merged.append((lo, hi))
-    return merged
+    raw = np.asarray(list(intervals), dtype=float).reshape(-1, 2)
+    starts, ends = merge_intervals(raw[:, 0], raw[:, 1])
+    return list(zip(starts.tolist(), ends.tolist()))
 
 
 def _gap_lengths(merged, horizon: float) -> list:
-    gaps = []
-    previous_end = 0.0
-    for lo, hi in merged:
-        if lo > previous_end:
-            gaps.append(lo - previous_end)
-        previous_end = max(previous_end, hi)
-    if previous_end < horizon:
-        gaps.append(horizon - previous_end)
-    return gaps
+    raw = np.asarray(list(merged), dtype=float).reshape(-1, 2)
+    return gap_lengths(raw[:, 0], raw[:, 1], horizon=horizon).tolist()
 
 
 def _count_caught(merged, times, lifetime: float, horizon: float) -> int:
     """Number of events whose ``[t, t+lifetime]`` window hits coverage."""
-    if not merged:
-        return 0
-    starts = np.array([lo for lo, _ in merged])
-    ends = np.array([hi for _, hi in merged])
-    caught = 0
-    for t in times:
-        window_end = min(t + lifetime, horizon)
-        # First interval ending at or after t.
-        index = int(np.searchsorted(ends, t))
-        if index < starts.size and starts[index] <= window_end:
-            caught += 1
-    return caught
+    raw = np.asarray(list(merged), dtype=float).reshape(-1, 2)
+    return count_caught(raw[:, 0], raw[:, 1], times, lifetime, horizon)

@@ -9,6 +9,21 @@ The engine measures everything Section VI-D reports: coverage shares and
 ``Delta C`` under the schedule convention, physical coverage shares, and
 exposure segments under both the transition-count and physical-time
 conventions.
+
+Two interchangeable engines implement the measurement:
+
+* ``"vectorized"`` (the default) — pre-samples the whole state path and
+  replays it through array interval arithmetic
+  (:mod:`repro.simulation.vectorized`);
+* ``"loop"`` — the per-step reference implementation in this module, one
+  Python iteration per transition.
+
+Both consume the RNG stream identically and compute every metric with
+the same floating-point operations, so for any inputs they return
+**bit-identical** :class:`~repro.simulation.metrics.SimulationResult`
+values (including the sampled path); the vectorized engine is simply
+10-50x faster.  ``tests/simulation/test_engine_equivalence.py`` holds
+this guarantee in place.
 """
 
 from __future__ import annotations
@@ -18,14 +33,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.geometry.coverage import chord_through_disc
-from repro.geometry.segments import Segment
 from repro.simulation.events import ExposureTracker, IntervalAccumulator
 from repro.simulation.metrics import SimulationResult
 from repro.topology.model import Topology
-from repro.utils.linalg import is_row_stochastic
+from repro.utils.linalg import cumulative_rows, is_row_stochastic
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_index, check_square
+
+#: Valid values for :attr:`SimulationOptions.engine`.
+ENGINES = ("vectorized", "loop")
 
 
 @dataclass(frozen=True)
@@ -35,15 +51,22 @@ class SimulationOptions:
     ``warmup`` transitions are simulated but excluded from measurement so
     the embedded chain forgets its start state.  ``record_path`` stores the
     full state path on the result (memory: 8 bytes/transition).
+    ``engine`` selects the implementation — ``"vectorized"`` (default) or
+    the per-step ``"loop"`` reference; both produce bit-identical results.
     """
 
     start_state: Optional[int] = None
     warmup: int = 0
     record_path: bool = False
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
 
 
 def simulate_schedule(
@@ -67,6 +90,13 @@ def simulate_schedule(
         RNG seed (see :mod:`repro.utils.rng`).
     options:
         See :class:`SimulationOptions`.
+
+    Notes
+    -----
+    The reported ``occupancy`` distribution counts the state occupied at
+    the start of the measured window (after warmup) along with the
+    destination of every measured transition, i.e. it is the empirical
+    distribution of all ``transitions + 1`` states in the measured path.
     """
     options = options or SimulationOptions()
     matrix = check_square("matrix", matrix)
@@ -87,38 +117,59 @@ def simulate_schedule(
     else:
         state = check_index("start_state", options.start_state, size)
 
-    cumulative = np.cumsum(matrix, axis=1)
-    cumulative[:, -1] = 1.0
-    positions = topology.positions
+    if options.engine == "vectorized":
+        from repro.simulation.vectorized import simulate_schedule_vectorized
+
+        return simulate_schedule_vectorized(
+            topology,
+            matrix,
+            transitions,
+            rng,
+            state,
+            options.warmup,
+            options.record_path,
+        )
+    return _simulate_schedule_loop(
+        topology,
+        matrix,
+        transitions,
+        rng,
+        state,
+        options.warmup,
+        options.record_path,
+    )
+
+
+def _simulate_schedule_loop(
+    topology: Topology,
+    matrix: np.ndarray,
+    transitions: int,
+    rng: np.random.Generator,
+    state: int,
+    warmup: int,
+    record_path: bool,
+) -> SimulationResult:
+    """Per-step reference engine: one Python iteration per transition."""
+    size = topology.size
+    cumulative = cumulative_rows(matrix)
     travel_times = topology.travel_times
     passby = topology.passby
     pauses = topology.pause_times
-    radius = topology.sensing_radius
     phi = topology.target_shares
 
-    # Precompute, per (origin, destination) leg, the list of
-    # (poi, t_in, t_out) chord fractions — the geometry never changes
-    # between transitions, so this turns the per-transition work into
-    # interval bookkeeping only.
-    chords = {}
-    for origin_index in range(size):
-        for dest_index in range(size):
-            if origin_index == dest_index:
-                continue
-            segment = Segment(
-                positions[origin_index], positions[dest_index]
-            )
-            legs = []
-            for poi in range(size):
-                chord = chord_through_disc(
-                    segment, positions[poi], radius
-                )
-                if chord is not None:
-                    legs.append((poi, chord[0], chord[1]))
-            chords[origin_index, dest_index] = legs
+    # Per (origin, destination) leg, the list of (poi, t_in, t_out) chord
+    # fractions — the geometry never changes between transitions, so this
+    # turns the per-transition work into interval bookkeeping only.
+    table = topology.chord_table()
+    chords = {
+        (origin, destination): table.leg(origin, destination)
+        for origin in range(size)
+        for destination in range(size)
+        if origin != destination
+    }
 
     # -- warmup: advance the chain without measuring ------------------- #
-    for _ in range(options.warmup):
+    for _ in range(warmup):
         state = int(
             np.searchsorted(cumulative[state], rng.random(), side="right")
         )
@@ -132,7 +183,7 @@ def simulate_schedule(
     occupancy = np.zeros(size, dtype=np.int64)
     accumulators = [IntervalAccumulator(origin=0.0) for _ in range(size)]
     exposure = ExposureTracker(size, start_state)
-    path = np.empty(transitions + 1, dtype=np.int64) if options.record_path \
+    path = np.empty(transitions + 1, dtype=np.int64) if record_path \
         else None
     if path is not None:
         path[0] = state

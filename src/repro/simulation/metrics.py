@@ -51,7 +51,10 @@ class SimulationResult:
         Number of arrivals per PoI (destination visits, self-loops
         included).
     occupancy:
-        Empirical state frequencies of the embedded Markov chain.
+        Empirical state frequencies of the embedded Markov chain over
+        all ``transitions + 1`` measured states — the state occupied at
+        the start of the measured window (after warmup) is counted along
+        with every transition destination.
     start_state / end_state:
         States at the measurement boundaries.
     path:

@@ -1,0 +1,254 @@
+"""Vectorized simulation engine: pre-sampled paths, array interval math.
+
+Replays the same stochastic process as the per-step reference engine in
+:mod:`repro.simulation.engine` — and produces **bit-identical** results —
+but in whole-path array passes instead of one Python iteration per
+transition:
+
+1. **Pre-sampled path.**  All warmup + measured uniforms come from one
+   vectorized ``rng.random(n)`` call (NumPy fills the array from the same
+   bitstream as ``n`` scalar draws), then
+   :func:`repro.markov.sampling.replay_uniforms` maps them through the
+   row CDFs.  Sampled paths therefore match the reference engine's
+   one-draw-per-step loop exactly.
+2. **Leg gathers.**  Transition durations, schedule-convention coverage
+   rows, and chord fractions are gathers against the topology's cached
+   :meth:`~repro.topology.model.Topology.chord_table` and timing
+   matrices, indexed by the ``(origin, destination)`` pairs of the path.
+3. **Interval arithmetic.**  Per-PoI covered time and physical exposure
+   gaps are computed by :func:`repro.simulation.intervals.grouped_coverage`
+   over the full coverage-interval stream at once; transition-count
+   exposure segments reduce to ``np.bincount`` identities over arrival
+   and departure steps.
+
+Bit-exactness relies on three properties, each locked in by
+``tests/simulation/test_engine_equivalence.py``:
+
+* ``np.cumsum`` is a *sequential* left-to-right sum, so the physical
+  clock grid equals the reference engine's running ``clock += duration``
+  bit for bit (and chunked column sums continue a sequence exactly by
+  seeding the next chunk's cumulative sum with the carry row);
+* interval endpoints are built with the same elementwise expressions
+  (same operands, same association) the reference engine evaluates per
+  step, and a *stable* sort groups them by PoI without reordering each
+  PoI's timeline;
+* integer-valued statistics (visit counts, occupancy, exposure segment
+  sums) are exact in double precision regardless of summation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.sampling import replay_uniforms
+from repro.simulation.intervals import grouped_coverage
+from repro.simulation.metrics import SimulationResult
+from repro.topology.model import Topology
+from repro.utils.linalg import cumulative_rows
+
+#: Rows per chunk of the sequential pass-by column sum.  Sized so a
+#: gathered ``chunk x M`` block stays cache-resident between the gather
+#: and the reduction; chunking never changes the summation order.
+_COLSUM_CHUNK = 16_384
+
+
+def _sequential_leg_colsum(
+    passby: np.ndarray, legs: np.ndarray
+) -> np.ndarray:
+    """Sum ``passby[origin_t, dest_t]`` rows in step order.
+
+    Equivalent to the reference engine's per-step
+    ``covered += passby[origin, destination]``: NumPy reduces a
+    C-contiguous array over axis 0 with a plain sequential accumulation
+    (pairwise summation only applies along the contiguous axis), and
+    each chunk carries the previous partial sum as its row 0, so the
+    addition order matches the loop exactly.  Bit-identity is asserted
+    by the equivalence suite and re-checked on every benchmark run.
+    """
+    size = passby.shape[2]
+    flat = passby.reshape(-1, size)
+    buffer = np.empty((min(_COLSUM_CHUNK, legs.size) + 1, size))
+    buffer[0] = 0.0
+    for lo in range(0, legs.size, _COLSUM_CHUNK):
+        chunk = legs[lo:lo + _COLSUM_CHUNK]
+        buffer[1:chunk.size + 1] = flat[chunk]
+        buffer[0] = buffer[:chunk.size + 1].sum(axis=0)
+    return buffer[0].copy()
+
+
+def _transition_exposure(
+    origins: np.ndarray,
+    dests: np.ndarray,
+    start_state: int,
+    size: int,
+) -> tuple:
+    """Per-PoI mean exposure segment lengths in transitions.
+
+    Mirrors :class:`~repro.simulation.events.ExposureTracker`: PoI ``i``'s
+    segments run from each departure step (state reached after leaving
+    ``i``; step 0 for every PoI except the start) to the next arrival at
+    ``i``, with self-loops ignored.  Because departures and arrivals
+    strictly alternate per PoI — beginning with a (possibly implicit)
+    departure — the ``k`` completed segments pair the first ``k`` starts
+    with the ``k`` arrivals, so the summed lengths are ``sum(arrival
+    steps) - sum(paired start steps)``; the only possibly-unpaired start
+    is the latest one.  All quantities are integer-valued, hence exact.
+    """
+    steps = np.arange(1, origins.size + 1)
+    moved = origins != dests
+    moved_origins = origins[moved]
+    moved_dests = dests[moved]
+    moved_steps = steps[moved]
+
+    arrival_count = np.bincount(moved_dests, minlength=size)
+    departure_count = np.bincount(moved_origins, minlength=size)
+    arrival_sum = np.bincount(
+        moved_dests, weights=moved_steps, minlength=size
+    )
+    departure_sum = np.bincount(
+        moved_origins, weights=moved_steps, minlength=size
+    )
+
+    implicit_start = (np.arange(size) != start_state).astype(np.int64)
+    pending = departure_count + implicit_start - arrival_count
+    last_departure = np.full(size, -1, dtype=np.int64)
+    np.maximum.at(last_departure, moved_origins, moved_steps)
+    # The unpaired start is the latest departure, or the implicit step-0
+    # start for a PoI that was never visited at all.
+    unpaired = np.where(last_departure >= 0, last_departure, 0)
+    segment_sum = arrival_sum - (
+        departure_sum - np.where(pending > 0, unpaired, 0)
+    )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean = np.where(
+            arrival_count > 0,
+            segment_sum / np.maximum(arrival_count, 1),
+            np.nan,
+        )
+    return mean, arrival_count
+
+
+def simulate_schedule_vectorized(
+    topology: Topology,
+    matrix: np.ndarray,
+    transitions: int,
+    rng: np.random.Generator,
+    start: int,
+    warmup: int,
+    record_path: bool,
+) -> SimulationResult:
+    """Vectorized engine body; called by ``simulate_schedule``.
+
+    Inputs are pre-validated; ``start`` is the state *before* warmup and
+    ``rng`` is positioned exactly where the reference engine's would be
+    (after any start-state draw).
+    """
+    size = topology.size
+    cumulative = cumulative_rows(matrix)
+    draws = rng.random(warmup + transitions)
+    walk = replay_uniforms(cumulative, draws, start)
+    path = walk[warmup:]
+    start_state = int(path[0])
+    origins = path[:-1]
+    dests = path[1:]
+
+    travel_times = topology.travel_times
+    passby = topology.passby
+    pauses = topology.pause_times
+    phi = topology.target_shares
+    table = topology.chord_table()
+
+    durations = travel_times[origins, dests]
+    # Sequential prefix sums: grid[t] is the reference engine's ``clock``
+    # after measured step t+1, bit for bit.
+    grid = np.cumsum(durations)
+    clock_starts = np.concatenate(([0.0], grid[:-1]))
+    clock = float(grid[-1])
+    total_schedule = clock  # same sequential sum of the same durations
+
+    legs = origins * size + dests
+    covered_schedule = _sequential_leg_colsum(passby, legs)
+    visit_counts = np.bincount(dests, minlength=size)
+    occupancy = np.bincount(path, minlength=size)
+
+    # ---- coverage-interval stream, in emission (timeline) order ------ #
+    moved = origins != dests
+    per_step = np.where(moved, table.counts[legs] + 1, 1)
+    total = int(per_step.sum())
+    step_of = np.repeat(np.arange(transitions), per_step)
+    first_of_step = np.concatenate(([0], np.cumsum(per_step)[:-1]))
+    slot = np.arange(total) - first_of_step[step_of]
+
+    stream_moved = moved[step_of]
+    is_pause = stream_moved & (slot == per_step[step_of] - 1)
+    is_chord = stream_moved & ~is_pause
+    is_dwell = ~stream_moved
+
+    poi = np.empty(total, dtype=np.int64)
+    interval_starts = np.empty(total)
+    interval_ends = np.empty(total)
+    travel = durations - pauses[dests]
+
+    t = step_of[is_dwell]
+    poi[is_dwell] = origins[t]
+    interval_starts[is_dwell] = clock_starts[t]
+    interval_ends[is_dwell] = clock_starts[t] + durations[t]
+
+    t = step_of[is_chord]
+    chord_at = table.offsets[legs[t]] + slot[is_chord]
+    poi[is_chord] = table.poi[chord_at]
+    interval_starts[is_chord] = clock_starts[t] + table.t_in[chord_at] \
+        * travel[t]
+    interval_ends[is_chord] = clock_starts[t] + table.t_out[chord_at] \
+        * travel[t]
+
+    t = step_of[is_pause]
+    arrival = clock_starts[t] + travel[t]
+    poi[is_pause] = dests[t]
+    interval_starts[is_pause] = arrival
+    interval_ends[is_pause] = arrival + durations[t] - travel[t]
+
+    # Stable sort: PoI-major, each PoI's intervals kept in timeline order
+    # — the exact sequences the reference engine feeds its accumulators.
+    order = np.argsort(poi, kind="stable")
+    covered, gap_sum, gap_count = grouped_coverage(
+        poi[order], interval_starts[order], interval_ends[order], size
+    )
+
+    # ---- assemble metrics (same expressions as the reference) -------- #
+    coverage_shares = covered_schedule / total_schedule
+    physical_shares = covered / clock
+    deviations = (covered_schedule - phi * total_schedule) / transitions
+    delta_c = float(np.sum(deviations**2))
+
+    exposure_transitions, _ = _transition_exposure(
+        origins, dests, start_state, size
+    )
+    finite = np.nan_to_num(exposure_transitions, nan=0.0)
+    e_bar_transitions = float(np.sqrt(np.sum(finite**2)))
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        exposure_physical = np.where(
+            gap_count > 0, gap_sum / np.maximum(gap_count, 1), np.nan
+        )
+    mean_duration = clock / transitions
+    normalized = np.nan_to_num(exposure_physical / mean_duration, nan=0.0)
+    e_bar_physical = float(np.sqrt(np.sum(normalized**2)))
+
+    return SimulationResult(
+        transitions=transitions,
+        total_time=clock,
+        coverage_shares=coverage_shares,
+        physical_coverage_shares=physical_shares,
+        delta_c=delta_c,
+        exposure_transitions=exposure_transitions,
+        e_bar_transitions=e_bar_transitions,
+        exposure_physical=exposure_physical,
+        e_bar_physical_normalized=e_bar_physical,
+        mean_transition_duration=float(mean_duration),
+        visit_counts=visit_counts,
+        occupancy=occupancy / occupancy.sum(),
+        start_state=start_state,
+        end_state=int(path[-1]),
+        path=path.copy() if record_path else None,
+    )

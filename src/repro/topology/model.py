@@ -7,7 +7,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.geometry.coverage import chord_through_disc
 from repro.geometry.points import Point, PointLike, as_point
+from repro.geometry.segments import Segment
 from repro.topology.timing import (
     check_disjoint_pois,
     passby_tensor,
@@ -20,6 +22,79 @@ from repro.utils.validation import check_distribution, check_positive
 DEFAULT_SPEED = 10.0
 #: Default pause time at a PoI upon arrival, seconds.
 DEFAULT_PAUSE = 10.0
+
+
+class LegCoverageTable:
+    """Chord fractions of every ordered travel leg, in CSR layout.
+
+    For the leg ``origin -> destination`` (``origin != destination``) the
+    straight-line path crosses the sensing discs of some PoIs; each
+    crossing is one chord ``(poi, t_in, t_out)`` with ``t`` the path
+    parameter in ``[0, 1]``.  The geometry never changes between
+    transitions, so the simulation engines index this table instead of
+    re-intersecting segments:
+
+    * ``counts[L]`` / ``offsets[L]`` — number of chords and the start of
+      the leg's slice in the flat arrays, for the flattened leg index
+      ``L = origin * size + destination`` (diagonal legs have no chords);
+    * ``poi`` / ``t_in`` / ``t_out`` — the flat chord arrays, ordered by
+      leg and, within a leg, by ascending PoI index.
+
+    Chords are computed by the same scalar
+    :func:`~repro.geometry.coverage.chord_through_disc` the per-step
+    reference engine historically called, so cached and uncached values
+    agree bit for bit.
+    """
+
+    __slots__ = ("size", "counts", "offsets", "poi", "t_in", "t_out")
+
+    def __init__(self, positions: Sequence[Point], radius: float) -> None:
+        size = len(positions)
+        counts = np.zeros(size * size, dtype=np.int64)
+        poi_ids: List[int] = []
+        t_ins: List[float] = []
+        t_outs: List[float] = []
+        for origin in range(size):
+            for destination in range(size):
+                if origin == destination:
+                    continue
+                segment = Segment(positions[origin], positions[destination])
+                leg = origin * size + destination
+                for poi in range(size):
+                    chord = chord_through_disc(
+                        segment, positions[poi], radius
+                    )
+                    if chord is not None:
+                        counts[leg] += 1
+                        poi_ids.append(poi)
+                        t_ins.append(chord[0])
+                        t_outs.append(chord[1])
+        self.size = size
+        self.counts = counts
+        self.offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        self.poi = np.asarray(poi_ids, dtype=np.int64)
+        self.t_in = np.asarray(t_ins, dtype=float)
+        self.t_out = np.asarray(t_outs, dtype=float)
+
+    def leg(self, origin: int, destination: int) -> List[tuple]:
+        """Chords of one leg as ``(poi, t_in, t_out)`` tuples."""
+        flat = origin * self.size + destination
+        lo = int(self.offsets[flat])
+        hi = lo + int(self.counts[flat])
+        return list(
+            zip(
+                self.poi[lo:hi].tolist(),
+                self.t_in[lo:hi].tolist(),
+                self.t_out[lo:hi].tolist(),
+            )
+        )
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
 
 @dataclass(frozen=True)
@@ -173,6 +248,23 @@ class Topology:
     def passby(self) -> np.ndarray:
         """Coverage tensor ``T[j, k, i] = T_{jk,i}`` (copy)."""
         return self._passby.copy()
+
+    def chord_table(self) -> LegCoverageTable:
+        """Per-leg chord fractions (see :class:`LegCoverageTable`).
+
+        Built lazily on first use — the ``O(M^3)`` disc intersections are
+        the expensive part of starting a simulation — and cached on the
+        instance, so repeated simulations of one topology (and fan-out
+        workers receiving a pickled copy of an already-warmed topology)
+        pay for the geometry once.
+        """
+        table = getattr(self, "_chord_table", None)
+        if table is None:
+            table = LegCoverageTable(
+                self.positions, self._sensing_radius
+            )
+            self._chord_table = table
+        return table
 
     def intermediate_pois(self, origin: int, destination: int) -> List[int]:
         """PoIs covered mid-travel on the ``origin -> destination`` leg.

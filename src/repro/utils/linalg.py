@@ -7,6 +7,21 @@ import numpy as np
 from repro.utils.validation import check_square
 
 
+def cumulative_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise cumulative distribution of a row-stochastic matrix.
+
+    Returns a fresh array whose rows are the running sums of ``matrix``'s
+    rows with the last column forced to exactly ``1.0`` — rows summing to
+    ``1 - 1e-16`` would otherwise let an inverse-CDF draw of ``u`` very
+    close to 1 fall off the end.  Every inverse-CDF sampler in the
+    library (``markov.sampling``, the simulation engines, the team
+    simulator) goes through this helper so they agree bit for bit.
+    """
+    cumulative = np.cumsum(np.asarray(matrix, dtype=float), axis=1)
+    cumulative[:, -1] = 1.0
+    return cumulative
+
+
 def is_row_stochastic(matrix: np.ndarray, atol: float = 1e-8) -> bool:
     """Return whether every row of ``matrix`` is a probability distribution."""
     matrix = np.asarray(matrix, dtype=float)

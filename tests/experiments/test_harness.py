@@ -270,7 +270,7 @@ class TestValidation:
     def test_validate_reproduction_passes(self):
         result = ex.validate_reproduction(iterations=80, runs=3, seed=0)
         statuses = [row[1] for row in result.rows]
-        assert len(statuses) == 7
+        assert len(statuses) == 8
         # Every acceptance criterion holds even at the tiny budget.
         assert all(status == "PASS" for status in statuses)
 

@@ -105,6 +105,22 @@ class TestBasicBehavior:
         result = simulate_schedule(topology, matrix, 300, seed=3)
         assert result.occupancy.sum() == pytest.approx(1.0)
 
+    def test_occupancy_counts_measured_start_state(self, topology, matrix):
+        """Documented convention: occupancy is the empirical distribution
+        of all ``transitions + 1`` measured states, including the state
+        occupied at the start of the measured window."""
+        transitions = 250
+        result = simulate_schedule(
+            topology, matrix, transitions, seed=3,
+            options=SimulationOptions(warmup=40, record_path=True),
+        )
+        assert result.path.size == transitions + 1
+        assert result.path[0] == result.start_state
+        expected = np.bincount(
+            result.path, minlength=topology.size
+        ) / (transitions + 1)
+        np.testing.assert_array_equal(result.occupancy, expected)
+
     def test_summary_renders(self, topology, matrix):
         text = simulate_schedule(topology, matrix, 50, seed=0).summary()
         assert "N=50" in text

@@ -1,0 +1,142 @@
+"""Loop-vs-vectorized engine equivalence.
+
+The vectorized engine's contract is stronger than "close": it consumes
+the RNG stream identically to the per-step loop engine and computes every
+metric with the same floating-point operations, so whole
+:class:`SimulationResult` objects must match **bit for bit** — which
+trivially satisfies the documented 1e-12 tolerance.  These tests sweep
+topologies, warmup settings, start states, path recording, and
+self-loop-heavy matrices.
+"""
+
+from dataclasses import fields
+
+import numpy as np
+import pytest
+
+from repro import SimulationOptions, paper_topology, simulate_schedule
+from repro.topology.random_gen import random_topology
+
+
+def _run_both(topology, matrix, transitions, seed, **kwargs):
+    return tuple(
+        simulate_schedule(
+            topology, matrix, transitions, seed=seed,
+            options=SimulationOptions(engine=engine, **kwargs),
+        )
+        for engine in ("loop", "vectorized")
+    )
+
+
+def _assert_identical(loop, vectorized):
+    for field in fields(loop):
+        expected = getattr(loop, field.name)
+        actual = getattr(vectorized, field.name)
+        if expected is None:
+            assert actual is None, field.name
+            continue
+        expected = np.asarray(expected)
+        actual = np.asarray(actual)
+        assert expected.shape == actual.shape, field.name
+        equal_nan = expected.dtype.kind == "f"
+        assert np.array_equal(actual, expected, equal_nan=equal_nan), (
+            f"{field.name}: {actual} != {expected}"
+        )
+        # The documented guarantee is <= 1e-12; bit-identity implies it,
+        # but assert the public contract explicitly for float fields.
+        if equal_nan:
+            assert np.allclose(
+                actual, expected, rtol=1e-12, atol=1e-12, equal_nan=True
+            ), field.name
+
+
+def _random_matrix(size, rng, self_loop_boost=0.0):
+    raw = rng.random((size, size)) + self_loop_boost * np.eye(size)
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+@pytest.mark.parametrize("topology_id", [1, 2, 3, 4])
+def test_paper_topologies_bit_identical(topology_id):
+    topology = paper_topology(topology_id)
+    rng = np.random.default_rng(topology_id)
+    matrix = _random_matrix(topology.size, rng)
+    loop, vectorized = _run_both(
+        topology, matrix, transitions=400, seed=17 + topology_id,
+        warmup=25, record_path=True,
+    )
+    _assert_identical(loop, vectorized)
+
+
+@pytest.mark.parametrize("warmup", [0, 1, 500])
+def test_warmup_settings(warmup):
+    topology = paper_topology(2)
+    matrix = _random_matrix(topology.size, np.random.default_rng(5))
+    loop, vectorized = _run_both(
+        topology, matrix, transitions=300, seed=warmup, warmup=warmup,
+        record_path=True,
+    )
+    _assert_identical(loop, vectorized)
+
+
+@pytest.mark.parametrize("start_state", [None, 0, 3])
+def test_start_state_selection(start_state):
+    topology = paper_topology(1)
+    matrix = _random_matrix(topology.size, np.random.default_rng(8))
+    loop, vectorized = _run_both(
+        topology, matrix, transitions=200, seed=3,
+        start_state=start_state, record_path=True,
+    )
+    _assert_identical(loop, vectorized)
+    if start_state is not None:
+        assert loop.start_state == start_state
+
+
+def test_record_path_off_returns_no_path():
+    topology = paper_topology(3)
+    matrix = _random_matrix(topology.size, np.random.default_rng(1))
+    loop, vectorized = _run_both(
+        topology, matrix, transitions=150, seed=9, record_path=False,
+    )
+    assert vectorized.path is None
+    _assert_identical(loop, vectorized)
+
+
+def test_self_loop_heavy_matrix():
+    """Mostly-dwelling sensors exercise the dwell-interval branch."""
+    topology = random_topology(10, seed=2)
+    rng = np.random.default_rng(4)
+    matrix = _random_matrix(topology.size, rng, self_loop_boost=15.0)
+    loop, vectorized = _run_both(
+        topology, matrix, transitions=2_000, seed=21, warmup=50,
+        record_path=True,
+    )
+    _assert_identical(loop, vectorized)
+
+
+def test_random_topologies_property_sweep():
+    """Randomized sizes/matrices/seeds, all bit-identical."""
+    rng = np.random.default_rng(123)
+    for _ in range(6):
+        size = int(rng.integers(3, 14))
+        topology = random_topology(size, seed=int(rng.integers(1000)))
+        matrix = _random_matrix(
+            topology.size, rng,
+            self_loop_boost=float(rng.uniform(0.0, 5.0)),
+        )
+        loop, vectorized = _run_both(
+            topology, matrix,
+            transitions=int(rng.integers(50, 800)),
+            seed=int(rng.integers(10_000)),
+            warmup=int(rng.integers(0, 100)),
+            record_path=True,
+        )
+        _assert_identical(loop, vectorized)
+
+
+def test_engine_option_validation():
+    with pytest.raises(ValueError, match="engine"):
+        SimulationOptions(engine="warp-drive")
+
+
+def test_default_engine_is_vectorized():
+    assert SimulationOptions().engine == "vectorized"
