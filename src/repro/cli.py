@@ -250,11 +250,12 @@ def _cmd_team(args) -> int:
     topology = _load_topology(args)
     matrix = persist.load_matrix(args.matrix)
     solo = simulate_team(
-        topology, [matrix], horizon=args.horizon, seed=args.seed
+        topology, [matrix], horizon=args.horizon, seed=args.seed,
+        engine=args.engine,
     )
     team = simulate_team(
         topology, [matrix] * args.sensors, horizon=args.horizon,
-        seed=args.seed + 1,
+        seed=args.seed + 1, engine=args.engine,
     )
     predicted_cov = team_coverage_approximation(
         np.tile(solo.coverage_shares, (args.sensors, 1))
@@ -365,7 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINES, default=None,
         help=(
             "simulation engine for simulation-backed experiments "
-            "(table4, figure6-8)"
+            "(table4, figure6-8, extension-team)"
         ),
     )
     _add_parallel_flags(p_exp)
@@ -380,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_team.add_argument("--sensors", type=int, default=3)
     p_team.add_argument("--horizon", type=float, default=100_000.0)
     p_team.add_argument("--seed", type=int, default=0)
+    p_team.add_argument(
+        "--engine", choices=ENGINES, default="vectorized",
+        help=(
+            "team simulation implementation; both give bit-identical "
+            "results (default: vectorized)"
+        ),
+    )
     p_team.set_defaults(handler=_cmd_team)
 
     p_par = sub.add_parser(

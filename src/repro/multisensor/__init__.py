@@ -12,15 +12,26 @@ in range, so per-PoI coverage is the union of the team's coverage
 intervals and exposure segments are the gaps where *no* sensor is in
 range.
 
-* :mod:`repro.multisensor.engine` — exact team simulation built on the
-  single-sensor engine's interval bookkeeping.
+* :mod:`repro.multisensor.engine` — exact team simulation with two
+  bit-identical engines (per-event ``"loop"`` reference and the default
+  pre-sampled ``"vectorized"`` path), plus executor fan-out for
+  independent replications.
+* :mod:`repro.multisensor.vectorized` — the vectorized engine body,
+  built on the shared interval kernels of
+  :mod:`repro.simulation.intervals`.
 * :mod:`repro.multisensor.analytic` — independence approximations for
   team coverage and exposure, with their validity ranges documented and
-  tested against the simulator.
+  tested against the simulator, and internal-consistency cross-checks
+  for simulated team results.
 """
 
-from repro.multisensor.engine import TeamSimulationResult, simulate_team
+from repro.multisensor.engine import (
+    TeamSimulationResult,
+    simulate_team,
+    simulate_team_repeatedly,
+)
 from repro.multisensor.analytic import (
+    check_team_result,
     sensors_needed_for_coverage,
     team_coverage_approximation,
     team_exposure_approximation,
@@ -28,7 +39,9 @@ from repro.multisensor.analytic import (
 
 __all__ = [
     "simulate_team",
+    "simulate_team_repeatedly",
     "TeamSimulationResult",
+    "check_team_result",
     "team_coverage_approximation",
     "team_exposure_approximation",
     "sensors_needed_for_coverage",

@@ -66,6 +66,53 @@ def team_exposure_approximation(per_sensor_exposures) -> np.ndarray:
     return result
 
 
+def check_team_result(result, tol: float = 1e-9) -> None:
+    """Cross-check a simulated team result for internal consistency.
+
+    Verifies the inequalities every exact union measurement must satisfy,
+    independent of which engine produced it:
+
+    * every coverage fraction (union and per-sensor) lies in ``[0, 1]``;
+    * the union covers at least the best individual sensor and at most
+      the sum of the individuals (Bonferroni bounds);
+    * completed exposure gaps fit in the uncovered part of the window:
+      ``exposure_mean * exposure_counts <= (1 - coverage) * horizon``;
+    * ``exposure_mean`` is ``nan`` exactly where ``exposure_counts`` is
+      zero, and per-sensor transition counts are positive.
+
+    Raises ``ValueError`` naming the first violated property.  Used by
+    the equivalence tests and re-run on every ``bench_team.py`` cell, so
+    a kernel regression cannot slip through as two engines agreeing on a
+    wrong answer.
+    """
+    shares = np.asarray(result.coverage_shares, dtype=float)
+    per_sensor = np.atleast_2d(
+        np.asarray(result.per_sensor_shares, dtype=float)
+    )
+    counts = np.asarray(result.exposure_counts)
+    means = np.asarray(result.exposure_mean, dtype=float)
+
+    def _fail(message: str) -> None:
+        raise ValueError(f"inconsistent team result: {message}")
+
+    if np.any(shares < -tol) or np.any(shares > 1.0 + tol):
+        _fail("union coverage shares outside [0, 1]")
+    if np.any(per_sensor < -tol) or np.any(per_sensor > 1.0 + tol):
+        _fail("per-sensor coverage shares outside [0, 1]")
+    if np.any(shares < per_sensor.max(axis=0) - tol):
+        _fail("union coverage below the best individual sensor")
+    if np.any(shares > per_sensor.sum(axis=0) + tol):
+        _fail("union coverage above the sum of individual sensors")
+    gap_time = np.where(counts > 0, np.nan_to_num(means) * counts, 0.0)
+    uncovered = (1.0 - shares) * result.horizon
+    if np.any(gap_time > uncovered + tol * result.horizon):
+        _fail("completed exposure gaps exceed the uncovered time")
+    if np.any(np.isnan(means) != (counts == 0)):
+        _fail("exposure_mean is nan iff exposure_counts is zero")
+    if np.any(np.asarray(result.transitions) < 1):
+        _fail("every sensor must take at least one transition")
+
+
 def sensors_needed_for_coverage(
     single_share: float, target_share: float
 ) -> int:

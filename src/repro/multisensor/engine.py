@@ -9,6 +9,22 @@ exposure segments are the gaps of that union.
 Sensors are simulated to a common physical ``horizon`` (seconds), not a
 common transition count: different matrices move at different speeds,
 and the union only makes sense on an aligned clock.
+
+Two interchangeable engines implement the measurement, mirroring the
+single-sensor :class:`~repro.simulation.engine.SimulationOptions`
+convention:
+
+* ``"vectorized"`` (the default) — pre-samples every sensor's path and
+  replays it through the shared array interval kernels
+  (:mod:`repro.multisensor.vectorized`);
+* ``"loop"`` — the per-event reference implementation in this module,
+  one Python iteration per transition and one tuple per interval.
+
+Both consume each sensor's spawned RNG stream identically and compute
+every metric with the same floating-point operations, so for any inputs
+they return **bit-identical** :class:`TeamSimulationResult` values;
+``tests/multisensor/test_engine_equivalence.py`` holds the guarantee in
+place and ``benchmarks/perf/bench_team.py`` re-checks it on every run.
 """
 
 from __future__ import annotations
@@ -18,6 +34,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.exec import resolve_executor
+from repro.simulation.engine import ENGINES
 from repro.simulation.events import IntervalAccumulator
 from repro.topology.model import Topology
 from repro.utils.linalg import cumulative_rows, is_row_stochastic
@@ -29,7 +47,20 @@ from repro.utils.validation import check_square
 class TeamSimulationResult:
     """Measured behavior of a sensor team.
 
-    All times are physical seconds on the shared clock.
+    All times are physical seconds on the shared clock, which runs from
+    ``0`` to ``horizon``.
+
+    **Start-state convention.**  Each sensor begins the measured window
+    at physical time zero already located at its start PoI — drawn
+    uniformly from the sensor's own spawned stream when no explicit
+    ``starts`` are given (the draw consumes that stream *before* its
+    transition uniforms).  The start PoI's coverage begins with the
+    sensor's first transition interval (a dwell or the departure leg),
+    exactly like the single-sensor engine's occupancy convention, and a
+    PoI counts an exposure segment from time zero only if it is uncovered
+    until some sensor's first interval there.  Per-sensor ``transitions``
+    counts include the final transition that crosses the horizon (its
+    intervals are clipped to ``[0, horizon]``).
 
     Attributes
     ----------
@@ -38,16 +69,19 @@ class TeamSimulationResult:
     horizon:
         Length of the measured window.
     coverage_shares:
-        Per-PoI fraction of the window covered by *at least one* sensor.
+        Per-PoI fraction of the window covered by *at least one* sensor
+        (the union of the team's in-range intervals).
     per_sensor_shares:
         ``(K, M)`` array of each sensor's individual coverage fractions.
     exposure_mean:
         Per-PoI mean length of maximal uncovered intervals (``nan`` for a
-        PoI with no completed gap).
+        PoI with no completed gap).  The stretch after the last covered
+        interval up to the horizon is an *incomplete* gap and is not
+        counted.
     exposure_counts:
         Per-PoI number of completed uncovered intervals.
     transitions:
-        Per-sensor number of transitions completed within the horizon.
+        Per-sensor number of transitions begun within the horizon.
     """
 
     sensors: int
@@ -128,6 +162,7 @@ def simulate_team(
     horizon: float,
     seed: RandomState = None,
     starts: Optional[Sequence[int]] = None,
+    engine: str = "vectorized",
 ) -> TeamSimulationResult:
     """Simulate a team of sensors for ``horizon`` seconds.
 
@@ -144,10 +179,18 @@ def simulate_team(
         Master seed; each sensor gets an independent spawned stream.
     starts:
         Optional per-sensor start PoIs (defaults to independent uniform
-        draws).
+        draws, one from each sensor's own stream — see the start-state
+        convention on :class:`TeamSimulationResult`).
+    engine:
+        ``"vectorized"`` (default) or the per-event ``"loop"``
+        reference; both produce bit-identical results.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be > 0, got {horizon}")
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
     matrices = [check_square(f"matrices[{k}]", m)
                 for k, m in enumerate(matrices)]
     if not matrices:
@@ -167,6 +210,38 @@ def simulate_team(
         )
 
     streams = spawn_generators(seed, len(matrices))
+    if engine == "vectorized":
+        from repro.multisensor.vectorized import simulate_team_vectorized
+
+        coverage, per_sensor_shares, exposure_mean, exposure_counts, \
+            transitions = simulate_team_vectorized(
+                topology, matrices, horizon, streams, starts
+            )
+    else:
+        coverage, per_sensor_shares, exposure_mean, exposure_counts, \
+            transitions = _simulate_team_loop(
+                topology, matrices, horizon, streams, starts
+            )
+    return TeamSimulationResult(
+        sensors=len(matrices),
+        horizon=float(horizon),
+        coverage_shares=coverage,
+        per_sensor_shares=per_sensor_shares,
+        exposure_mean=exposure_mean,
+        exposure_counts=exposure_counts,
+        transitions=transitions,
+    )
+
+
+def _simulate_team_loop(
+    topology: Topology,
+    matrices: Sequence[np.ndarray],
+    horizon: float,
+    streams: Sequence[np.random.Generator],
+    starts: Optional[Sequence[int]],
+) -> tuple:
+    """Per-event reference engine: Python loops and interval tuples."""
+    size = topology.size
     per_sensor_intervals = []
     transitions = np.zeros(len(matrices), dtype=np.int64)
     per_sensor_shares = np.zeros((len(matrices), size))
@@ -197,15 +272,61 @@ def simulate_team(
         exposure_counts[poi] = accumulator.gap_count
         exposure_mean[poi] = accumulator.mean_gap()
 
-    return TeamSimulationResult(
-        sensors=len(matrices),
-        horizon=float(horizon),
-        coverage_shares=coverage,
-        per_sensor_shares=per_sensor_shares,
-        exposure_mean=exposure_mean,
-        exposure_counts=exposure_counts,
-        transitions=transitions,
+    return coverage, per_sensor_shares, exposure_mean, exposure_counts, \
+        transitions
+
+
+def _simulate_team_task(task):
+    """One ``simulate_team_repeatedly`` replication (pickles for the
+    process backend)."""
+    topology, matrices, horizon, starts, engine, rng = task
+    return simulate_team(
+        topology, matrices, horizon, seed=rng, starts=starts,
+        engine=engine,
     )
+
+
+def simulate_team_repeatedly(
+    topology: Topology,
+    matrices: Sequence[np.ndarray],
+    horizon: float,
+    repetitions: int,
+    seed: RandomState = 0,
+    starts: Optional[Sequence[int]] = None,
+    executor=None,
+    engine: Optional[str] = None,
+) -> List[TeamSimulationResult]:
+    """Run ``repetitions`` independent team simulations; return them all.
+
+    Replications fan out over the :mod:`repro.exec` execution layer —
+    ``executor`` accepts a backend name (``"serial"``/``"thread"``/
+    ``"process"``), an ``Executor`` instance, or ``None`` for the ambient
+    default (set by ``--jobs`` on the CLI or
+    :func:`repro.exec.using_executor`).  Each replication draws from its
+    own pre-spawned child stream, so results are bit-identical on every
+    backend and at every worker count.
+
+    ``engine`` picks the team simulation implementation (``"vectorized"``
+    / ``"loop"``; ``None`` uses the default).  Both give bit-identical
+    results — the knob exists for benchmarking and validation.
+    """
+    if repetitions < 1:
+        raise ValueError(
+            f"repetitions must be >= 1, got {repetitions}"
+        )
+    if engine is None:
+        engine = "vectorized"
+    # Warm the chord-table cache before the tasks are built: every task
+    # (and every pickled copy shipped to process workers) then reuses the
+    # one precomputed geometry instead of redoing the O(M^3)
+    # intersections.
+    topology.chord_table()
+    matrices = list(matrices)
+    tasks = [
+        (topology, matrices, horizon, starts, engine, rng)
+        for rng in spawn_generators(seed, repetitions)
+    ]
+    return resolve_executor(executor).map(_simulate_team_task, tasks)
 
 
 def _union_length(intervals: Sequence[tuple]) -> float:

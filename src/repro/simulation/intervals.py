@@ -10,7 +10,10 @@ interval streams at once:
 * :func:`count_caught` — how many event windows hit a merged timeline;
 * :func:`grouped_coverage` — the simulation engine's hot kernel: covered
   time and exposure-gap statistics for *every* PoI in one pass over the
-  concatenated, PoI-major interval stream.
+  concatenated, PoI-major interval stream;
+* :func:`grouped_union_length` — union lengths for every group of a
+  group-major interval stream (the team engine's K-way per-sensor
+  coverage kernel).
 
 ``grouped_coverage`` is written to be **bit-identical** to feeding the
 same per-PoI interval sequences through ``IntervalAccumulator`` one
@@ -175,3 +178,51 @@ def grouped_coverage(
             np.count_nonzero(new_block)
         )
     return covered, gap_sum, gap_count
+
+
+def grouped_union_length(
+    groups: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    size: int,
+) -> np.ndarray:
+    """Union length of every group's intervals in one group-major pass.
+
+    Input arrays hold one entry per interval and must be **group-major**:
+    sorted by ``groups`` with each group's intervals sorted by start
+    (stable, so equal starts keep their incoming order).  Returns a
+    length-``size`` array of per-group union lengths; a group with no
+    intervals reports zero.
+
+    The semantics — and the floating-point operations — are those of the
+    sorted streaming merge historically applied per PoI by the team
+    engine: an interval opens a new merged block iff its start strictly
+    exceeds the running maximum end (no tolerance), each block
+    contributes ``block_max_end - block_start``, and the per-group total
+    is the *sequential* sum of the block contributions (``np.cumsum``
+    matches a running ``+=`` bit for bit).
+    """
+    groups = np.asarray(groups, dtype=np.int64)
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    totals = np.zeros(size)
+    bounds = np.searchsorted(groups, np.arange(size + 1))
+    for index in range(size):
+        lo, hi = int(bounds[index]), int(bounds[index + 1])
+        if lo == hi:
+            continue
+        s = starts[lo:hi]
+        e = ends[lo:hi]
+        # Within a block every end exceeds the previous blocks' maximum
+        # (its start does, and ends dominate starts), so the global
+        # running maximum equals the block-local one.
+        running_end = np.maximum.accumulate(e)
+        new_block = np.empty(hi - lo, dtype=bool)
+        new_block[0] = True
+        new_block[1:] = s[1:] > running_end[:-1]
+        block_first = np.flatnonzero(new_block)
+        block_last = np.concatenate((block_first[1:] - 1, [hi - lo - 1]))
+        totals[index] = np.cumsum(
+            running_end[block_last] - s[block_first]
+        )[-1]
+    return totals

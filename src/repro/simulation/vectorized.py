@@ -128,54 +128,38 @@ def _transition_exposure(
     return mean, arrival_count
 
 
-def simulate_schedule_vectorized(
+def leg_interval_stream(
     topology: Topology,
-    matrix: np.ndarray,
-    transitions: int,
-    rng: np.random.Generator,
-    start: int,
-    warmup: int,
-    record_path: bool,
-) -> SimulationResult:
-    """Vectorized engine body; called by ``simulate_schedule``.
+    origins: np.ndarray,
+    dests: np.ndarray,
+    clock_starts: np.ndarray,
+    durations: np.ndarray,
+) -> tuple:
+    """Coverage intervals of a timed leg sequence, in emission order.
 
-    Inputs are pre-validated; ``start`` is the state *before* warmup and
-    ``rng`` is positioned exactly where the reference engine's would be
-    (after any start-state draw).
+    ``origins[t] -> dests[t]`` is the step starting at physical time
+    ``clock_starts[t]`` and lasting ``durations[t]``.  Returns
+    ``(poi, starts, ends)`` arrays with one entry per coverage interval,
+    ordered exactly as the per-step reference engines emit them: for each
+    step in sequence, a dwell interval for a self-loop, otherwise the
+    leg's pass-by chords (in chord-table order) followed by the
+    destination pause.  Endpoints are built with the same elementwise
+    expressions the loop engines evaluate per step, so they are
+    bit-identical to the scalar bookkeeping.
+
+    Shared by the single-sensor engine and the team engine (which runs it
+    once per sensor on the shared wall-clock).
     """
+    steps = origins.size
     size = topology.size
-    cumulative = cumulative_rows(matrix)
-    draws = rng.random(warmup + transitions)
-    walk = replay_uniforms(cumulative, draws, start)
-    path = walk[warmup:]
-    start_state = int(path[0])
-    origins = path[:-1]
-    dests = path[1:]
-
-    travel_times = topology.travel_times
-    passby = topology.passby
     pauses = topology.pause_times
-    phi = topology.target_shares
     table = topology.chord_table()
-
-    durations = travel_times[origins, dests]
-    # Sequential prefix sums: grid[t] is the reference engine's ``clock``
-    # after measured step t+1, bit for bit.
-    grid = np.cumsum(durations)
-    clock_starts = np.concatenate(([0.0], grid[:-1]))
-    clock = float(grid[-1])
-    total_schedule = clock  # same sequential sum of the same durations
-
     legs = origins * size + dests
-    covered_schedule = _sequential_leg_colsum(passby, legs)
-    visit_counts = np.bincount(dests, minlength=size)
-    occupancy = np.bincount(path, minlength=size)
 
-    # ---- coverage-interval stream, in emission (timeline) order ------ #
     moved = origins != dests
     per_step = np.where(moved, table.counts[legs] + 1, 1)
     total = int(per_step.sum())
-    step_of = np.repeat(np.arange(transitions), per_step)
+    step_of = np.repeat(np.arange(steps), per_step)
     first_of_step = np.concatenate(([0], np.cumsum(per_step)[:-1]))
     slot = np.arange(total) - first_of_step[step_of]
 
@@ -207,6 +191,114 @@ def simulate_schedule_vectorized(
     poi[is_pause] = dests[t]
     interval_starts[is_pause] = arrival
     interval_ends[is_pause] = arrival + durations[t] - travel[t]
+
+    return poi, interval_starts, interval_ends
+
+
+def presample_horizon_legs(
+    cumulative: np.ndarray,
+    travel_times: np.ndarray,
+    horizon: float,
+    rng: np.random.Generator,
+    start: int,
+) -> tuple:
+    """Pre-sample a state path until the physical clock reaches ``horizon``.
+
+    Vectorized counterpart of the reference loop ``while clock < horizon:
+    draw, step, clock += duration``.  Uniforms are drawn in chunks
+    (``rng.random(n)`` fills the array from the same bitstream as ``n``
+    scalar draws); drawing *past* the stopping step is allowed because the
+    surplus uniforms are never used and the per-sensor stream is not
+    consumed again afterwards.  The clock grid is built by seeding each
+    chunk's ``np.cumsum`` with the previous chunk's carry value, which
+    reproduces the loop's sequential ``clock += duration`` additions bit
+    for bit.
+
+    Returns ``(path, durations, grid)`` truncated to exactly the ``T``
+    transitions the reference loop takes (step ``t`` happens iff the
+    clock before it is ``< horizon``): ``path`` holds ``T + 1`` states,
+    ``durations[t]`` is step ``t``'s physical length and ``grid[t]`` the
+    clock after it (``grid[-1] >= horizon``).
+    """
+    mean_duration = max(float(travel_times.mean()), 1e-300)
+    state = int(start)
+    dest_chunks = []
+    duration_chunks = []
+    grid_chunks = []
+    carry = 0.0
+    guess = max(64, int(horizon / mean_duration) + 16)
+    while True:
+        draws = rng.random(guess)
+        chunk = replay_uniforms(cumulative, draws, state)
+        durations = travel_times[chunk[:-1], chunk[1:]]
+        seeded = np.empty(durations.size + 1)
+        seeded[0] = carry
+        seeded[1:] = durations
+        grid = np.cumsum(seeded)[1:]
+        dest_chunks.append(chunk[1:])
+        duration_chunks.append(durations)
+        grid_chunks.append(grid)
+        carry = float(grid[-1])
+        state = int(chunk[-1])
+        if carry >= horizon:
+            break
+        # Undershot the horizon (e.g. many short self-loops): grow
+        # geometrically so pathological paths cost O(log) chunks.
+        guess *= 2
+    path = np.concatenate(
+        ([np.int64(start)], *dest_chunks)
+    )
+    durations = np.concatenate(duration_chunks)
+    grid = np.concatenate(grid_chunks)
+    taken = int(np.searchsorted(grid, horizon, side="left")) + 1
+    return path[:taken + 1], durations[:taken], grid[:taken]
+
+
+def simulate_schedule_vectorized(
+    topology: Topology,
+    matrix: np.ndarray,
+    transitions: int,
+    rng: np.random.Generator,
+    start: int,
+    warmup: int,
+    record_path: bool,
+) -> SimulationResult:
+    """Vectorized engine body; called by ``simulate_schedule``.
+
+    Inputs are pre-validated; ``start`` is the state *before* warmup and
+    ``rng`` is positioned exactly where the reference engine's would be
+    (after any start-state draw).
+    """
+    size = topology.size
+    cumulative = cumulative_rows(matrix)
+    draws = rng.random(warmup + transitions)
+    walk = replay_uniforms(cumulative, draws, start)
+    path = walk[warmup:]
+    start_state = int(path[0])
+    origins = path[:-1]
+    dests = path[1:]
+
+    travel_times = topology.travel_times
+    passby = topology.passby
+    phi = topology.target_shares
+
+    durations = travel_times[origins, dests]
+    # Sequential prefix sums: grid[t] is the reference engine's ``clock``
+    # after measured step t+1, bit for bit.
+    grid = np.cumsum(durations)
+    clock_starts = np.concatenate(([0.0], grid[:-1]))
+    clock = float(grid[-1])
+    total_schedule = clock  # same sequential sum of the same durations
+
+    legs = origins * size + dests
+    covered_schedule = _sequential_leg_colsum(passby, legs)
+    visit_counts = np.bincount(dests, minlength=size)
+    occupancy = np.bincount(path, minlength=size)
+
+    # ---- coverage-interval stream, in emission (timeline) order ------ #
+    poi, interval_starts, interval_ends = leg_interval_stream(
+        topology, origins, dests, clock_starts, durations
+    )
 
     # Stable sort: PoI-major, each PoI's intervals kept in timeline order
     # — the exact sequences the reference engine feeds its accumulators.

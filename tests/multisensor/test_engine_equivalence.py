@@ -1,0 +1,154 @@
+"""Loop-vs-vectorized team engine equivalence.
+
+The vectorized team engine's contract mirrors the single-sensor one
+(``tests/simulation/test_engine_equivalence.py``): it consumes each
+sensor's spawned RNG stream identically to the per-event loop engine and
+computes every metric with the same floating-point operations, so whole
+:class:`TeamSimulationResult` objects must match **bit for bit** — no
+tolerances.  These tests sweep team sizes, heterogeneous matrices,
+explicit starts, short and long horizons, and self-loop-heavy sensors.
+"""
+
+from dataclasses import fields
+
+import numpy as np
+import pytest
+
+from repro import paper_topology, uniform_matrix
+from repro.multisensor import check_team_result, simulate_team
+from repro.topology.random_gen import random_topology
+
+
+def _run_both(topology, matrices, horizon, seed, starts=None):
+    return tuple(
+        simulate_team(
+            topology, matrices, horizon, seed=seed, starts=starts,
+            engine=engine,
+        )
+        for engine in ("loop", "vectorized")
+    )
+
+
+def _assert_identical(loop, vectorized):
+    for field in fields(loop):
+        expected = np.asarray(getattr(loop, field.name))
+        actual = np.asarray(getattr(vectorized, field.name))
+        assert expected.shape == actual.shape, field.name
+        equal_nan = expected.dtype.kind == "f"
+        assert np.array_equal(actual, expected, equal_nan=equal_nan), (
+            f"{field.name}: {actual} != {expected}"
+        )
+    check_team_result(vectorized)
+
+
+def _random_matrix(size, rng, self_loop_boost=0.0):
+    raw = rng.random((size, size)) + self_loop_boost * np.eye(size)
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+@pytest.mark.parametrize("topology_id", [1, 2, 3, 4])
+def test_paper_topologies_bit_identical(topology_id):
+    topology = paper_topology(topology_id)
+    rng = np.random.default_rng(topology_id)
+    matrices = [
+        _random_matrix(topology.size, rng) for _ in range(3)
+    ]
+    loop, vectorized = _run_both(
+        topology, matrices, horizon=20_000.0, seed=31 + topology_id
+    )
+    _assert_identical(loop, vectorized)
+
+
+@pytest.mark.parametrize("team_size", [1, 2, 4, 7])
+def test_team_sizes(team_size):
+    topology = paper_topology(2)
+    matrix = _random_matrix(topology.size, np.random.default_rng(6))
+    loop, vectorized = _run_both(
+        topology, [matrix] * team_size, horizon=15_000.0, seed=team_size
+    )
+    _assert_identical(loop, vectorized)
+
+
+def test_explicit_starts():
+    topology = paper_topology(1)
+    matrix = uniform_matrix(topology.size)
+    loop, vectorized = _run_both(
+        topology, [matrix] * 3, horizon=8_000.0, seed=4,
+        starts=[0, 2, 3],
+    )
+    _assert_identical(loop, vectorized)
+
+
+def test_short_horizon_first_transition_clipped():
+    """A horizon inside the very first transition exercises clipping."""
+    topology = paper_topology(3)
+    matrix = _random_matrix(topology.size, np.random.default_rng(2))
+    loop, vectorized = _run_both(
+        topology, [matrix] * 2, horizon=3.0, seed=11
+    )
+    assert np.all(loop.transitions == 1)
+    _assert_identical(loop, vectorized)
+
+
+def test_self_loop_heavy_team():
+    """Mostly-dwelling sensors make the horizon sampler over-draw in
+    several chunks (many short pause-only transitions)."""
+    topology = random_topology(8, seed=3)
+    rng = np.random.default_rng(7)
+    matrices = [
+        _random_matrix(topology.size, rng, self_loop_boost=20.0)
+        for _ in range(3)
+    ]
+    loop, vectorized = _run_both(
+        topology, matrices, horizon=30_000.0, seed=13
+    )
+    _assert_identical(loop, vectorized)
+
+
+def test_heterogeneous_random_sweep():
+    """Randomized sizes/teams/horizons/starts, all bit-identical."""
+    rng = np.random.default_rng(321)
+    for trial in range(5):
+        size = int(rng.integers(3, 12))
+        topology = random_topology(size, seed=int(rng.integers(1000)))
+        team = int(rng.integers(1, 6))
+        matrices = [
+            _random_matrix(
+                size, rng, self_loop_boost=float(rng.uniform(0.0, 6.0))
+            )
+            for _ in range(team)
+        ]
+        starts = (
+            None if trial % 2 == 0
+            else [int(s) for s in rng.integers(0, size, team)]
+        )
+        loop, vectorized = _run_both(
+            topology, matrices,
+            horizon=float(rng.uniform(20.0, 25_000.0)),
+            seed=int(rng.integers(10_000)),
+            starts=starts,
+        )
+        _assert_identical(loop, vectorized)
+
+
+def test_engine_validation():
+    topology = paper_topology(1)
+    with pytest.raises(ValueError, match="engine"):
+        simulate_team(
+            topology, [uniform_matrix(4)], horizon=100.0,
+            engine="warp-drive",
+        )
+
+
+def test_default_engine_is_vectorized():
+    """The default must match the loop reference (i.e. be the vectorized
+    engine, not a third behavior)."""
+    topology = paper_topology(1)
+    matrix = uniform_matrix(4)
+    default = simulate_team(topology, [matrix] * 2, 5_000.0, seed=9)
+    explicit = simulate_team(
+        topology, [matrix] * 2, 5_000.0, seed=9, engine="vectorized"
+    )
+    np.testing.assert_array_equal(
+        default.coverage_shares, explicit.coverage_shares
+    )

@@ -32,7 +32,7 @@ class TestCliRegistry:
 class TestDocsExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
-        "docs/math.md",
+        "docs/math.md", "docs/performance.md", "docs/simulation.md",
     ])
     def test_file_present_and_nonempty(self, name):
         path = ROOT / name
@@ -55,6 +55,49 @@ class TestDocsExist:
         ):
             assert name in readme
             assert hasattr(repro, name)
+
+
+class TestSimulationDocs:
+    def test_readme_links_simulation_page(self):
+        readme = (ROOT / "README.md").read_text()
+        assert "docs/simulation.md" in readme
+
+    def test_performance_links_simulation_page(self):
+        performance = (ROOT / "docs" / "performance.md").read_text()
+        assert "simulation.md" in performance
+
+    def test_simulation_page_names_both_engines_and_knobs(self):
+        page = (ROOT / "docs" / "simulation.md").read_text()
+        for needed in (
+            '"loop"', '"vectorized"', "SimulationOptions",
+            "simulate_team", "--engine", "replay_uniforms",
+            "spawn_generators", "grouped_coverage",
+            "grouped_union_length", "simulate_team_repeatedly",
+        ):
+            assert needed in page, f"docs/simulation.md lost {needed!r}"
+
+    def test_multisensor_public_api_documented(self):
+        import repro.multisensor as team
+
+        for name in team.__all__:
+            member = getattr(team, name)
+            assert member.__doc__ and member.__doc__.strip(), (
+                f"repro.multisensor.{name} has no docstring"
+            )
+
+    def test_team_result_documents_start_state_convention(self):
+        from repro.multisensor import TeamSimulationResult, simulate_team
+
+        doc = TeamSimulationResult.__doc__
+        # The start-state convention is part of the public contract:
+        # each sensor starts at its start PoI at time zero, drawing the
+        # start uniformly from its own stream when not given.
+        for phrase in ("start", "time zero", "stream", "uniform"):
+            assert phrase in doc, (
+                f"TeamSimulationResult docstring lost {phrase!r}"
+            )
+        for phrase in ("engine", "vectorized", "loop", "bit-identical"):
+            assert phrase in simulate_team.__doc__
 
 
 class TestBenchmarkCoverage:

@@ -2,15 +2,25 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import paper_topology, uniform_matrix
 from repro.multisensor import (
+    check_team_result,
     sensors_needed_for_coverage,
     simulate_team,
+    simulate_team_repeatedly,
     team_coverage_approximation,
     team_exposure_approximation,
 )
 from repro.multisensor.engine import _union_length
+from repro.simulation.intervals import (
+    gap_lengths,
+    grouped_coverage,
+    grouped_union_length,
+    merge_intervals,
+)
 
 
 @pytest.fixture(scope="module")
@@ -122,6 +132,150 @@ class TestTeamSimulation:
             topology, [matrix], horizon=1000.0, seed=0, starts=[2]
         )
         assert result.sensors == 1
+
+
+#: Hypothesis strategy: a team of per-sensor interval lists inside
+#: [0, HORIZON], as (start, length) pairs.
+HORIZON = 100.0
+_interval = st.tuples(
+    st.floats(min_value=0.0, max_value=HORIZON * 0.99),
+    st.floats(min_value=1e-6, max_value=HORIZON / 4),
+)
+_sensor_intervals = st.lists(_interval, min_size=0, max_size=12)
+_team_intervals = st.lists(_sensor_intervals, min_size=1, max_size=4)
+
+
+def _team_arrays(team):
+    """Concatenate a team's (start, length) pairs, clipped to HORIZON."""
+    starts, ends = [], []
+    for sensor in team:
+        for lo, length in sensor:
+            starts.append(lo)
+            ends.append(min(lo + length, HORIZON))
+    return np.asarray(starts, dtype=float), np.asarray(ends, dtype=float)
+
+
+class TestUnionProperties:
+    """K-way union identities between the shared interval kernels."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(_team_intervals)
+    def test_kway_union_equals_merge_of_concatenation(self, team):
+        """Union coverage over a K-sensor concatenated stream equals
+        merge_intervals over the same concatenated intervals."""
+        starts, ends = _team_arrays(team)
+        poi = np.zeros(starts.size, dtype=np.int64)
+        order = np.argsort(starts, kind="stable")
+        covered, _, _ = grouped_coverage(
+            poi[order], starts[order], ends[order], 1, merge_tol=0.0
+        )
+        merged_starts, merged_ends = merge_intervals(starts, ends)
+        assert covered[0] == pytest.approx(
+            float(np.sum(merged_ends - merged_starts)), abs=1e-9
+        )
+        union = grouped_union_length(
+            poi[order], starts[order], ends[order], 1
+        )
+        assert union[0] == pytest.approx(covered[0], abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_team_intervals)
+    def test_gaps_are_complement_of_union_within_horizon(self, team):
+        """Covered time plus all uncovered gaps (leading, interior,
+        trailing) tiles the horizon exactly."""
+        starts, ends = _team_arrays(team)
+        merged_starts, merged_ends = merge_intervals(starts, ends)
+        covered = float(np.sum(merged_ends - merged_starts))
+        gaps = gap_lengths(
+            merged_starts, merged_ends, horizon=HORIZON, origin=0.0
+        )
+        assert covered + float(gaps.sum()) == pytest.approx(
+            HORIZON, rel=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(_team_intervals, st.integers(min_value=1, max_value=5))
+    def test_grouped_union_matches_per_group_reference(self, team, size):
+        """grouped_union_length over scattered groups equals the scalar
+        _union_length reference per group."""
+        starts, ends = _team_arrays(team)
+        rng = np.random.default_rng(starts.size + size)
+        poi = rng.integers(0, size, starts.size)
+        order = np.argsort(starts, kind="stable")
+        order = order[np.argsort(poi[order], kind="stable")]
+        union = grouped_union_length(
+            poi[order], starts[order], ends[order], size
+        )
+        for group in range(size):
+            reference = _union_length(
+                [(s, e) for g, s, e in zip(poi, starts, ends)
+                 if g == group]
+            )
+            assert union[group] == pytest.approx(reference, abs=1e-9)
+
+    def test_engine_union_consistency_seeded(self, topology):
+        """Simulated team results satisfy every union invariant."""
+        rng = np.random.default_rng(99)
+        for seed in range(4):
+            raw = rng.random((4, 4)) + np.eye(4)
+            matrix = raw / raw.sum(axis=1, keepdims=True)
+            result = simulate_team(
+                topology, [matrix] * (seed + 1),
+                horizon=float(rng.uniform(100.0, 20_000.0)),
+                seed=seed,
+            )
+            check_team_result(result)
+
+
+class TestTeamRepeatedly:
+    def test_returns_independent_replications(self, topology):
+        matrix = uniform_matrix(4)
+        results = simulate_team_repeatedly(
+            topology, [matrix] * 2, horizon=5_000.0, repetitions=3,
+            seed=7,
+        )
+        assert len(results) == 3
+        shares = [r.coverage_shares for r in results]
+        assert not np.array_equal(shares[0], shares[1])
+
+    def test_bit_identical_across_backends(self, topology):
+        matrix = uniform_matrix(4)
+        serial = simulate_team_repeatedly(
+            topology, [matrix] * 2, horizon=5_000.0, repetitions=4,
+            seed=2, executor="serial",
+        )
+        threaded = simulate_team_repeatedly(
+            topology, [matrix] * 2, horizon=5_000.0, repetitions=4,
+            seed=2, executor="thread",
+        )
+        for a, b in zip(serial, threaded):
+            np.testing.assert_array_equal(
+                a.coverage_shares, b.coverage_shares
+            )
+            np.testing.assert_array_equal(
+                a.exposure_mean, b.exposure_mean
+            )
+
+    def test_engine_knob_is_bit_identical(self, topology):
+        matrix = uniform_matrix(4)
+        loop, vec = (
+            simulate_team_repeatedly(
+                topology, [matrix], horizon=3_000.0, repetitions=2,
+                seed=5, engine=engine,
+            )
+            for engine in ("loop", "vectorized")
+        )
+        for a, b in zip(loop, vec):
+            np.testing.assert_array_equal(
+                a.coverage_shares, b.coverage_shares
+            )
+
+    def test_rejects_bad_repetitions(self, topology):
+        with pytest.raises(ValueError, match="repetitions"):
+            simulate_team_repeatedly(
+                topology, [uniform_matrix(4)], horizon=100.0,
+                repetitions=0,
+            )
 
 
 class TestCoverageApproximation:

@@ -126,13 +126,18 @@ class TestCli:
             "--save-result", str(result),
         ]) == 0
         assert matrix.exists() and result.exists()
-        assert main([
-            "simulate", "--topology", str(topo),
-            "--matrix", str(matrix),
-            "--transitions", "1000", "--warmup", "50",
-        ]) == 0
-        out = capsys.readouterr().out
-        assert "coverage shares" in out
+        capsys.readouterr()  # drain the topology/optimize output
+        outputs = {}
+        for engine in ("vectorized", "loop"):
+            assert main([
+                "simulate", "--topology", str(topo),
+                "--matrix", str(matrix),
+                "--transitions", "1000", "--warmup", "50",
+                "--engine", engine,
+            ]) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert "coverage shares" in outputs["vectorized"]
+        assert outputs["vectorized"] == outputs["loop"]
 
     def test_optimize_basic_algorithm(self, capsys):
         assert main([
@@ -188,6 +193,25 @@ class TestCliTeam:
         ]) == 0
         out = capsys.readouterr().out
         assert "union coverage" in out
+
+    def test_team_engine_flag_output_identical(self, tmp_path, capsys):
+        topo = tmp_path / "t.json"
+        matrix = tmp_path / "p.json"
+        assert main(["topology", "--paper", "1", "--save", str(topo)]) == 0
+        assert main([
+            "optimize", "--topology", str(topo), "--iterations", "15",
+            "--save-matrix", str(matrix),
+        ]) == 0
+        capsys.readouterr()  # drain the topology/optimize output
+        outputs = {}
+        for engine in ("vectorized", "loop"):
+            assert main([
+                "team", "--topology", str(topo), "--matrix", str(matrix),
+                "--sensors", "3", "--horizon", "4000",
+                "--engine", engine,
+            ]) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["vectorized"] == outputs["loop"]
 
 
 class TestCliParallel:

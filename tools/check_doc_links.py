@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in README.md and docs/*.md.
+
+Scans Markdown inline links (``[text](target)``) in the repository's
+top-level README and every file under ``docs/``.  External targets
+(``http(s)://``, ``mailto:``) and pure fragments (``#section``) are
+skipped; everything else is resolved relative to the file that contains
+the link and must exist on disk.  Run from anywhere::
+
+    python tools/check_doc_links.py
+
+Exit status is nonzero if any link is dead, with one line per offender.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+# Inline links only; reference-style links are not used in this repo.
+# The target group stops at the first ')' or whitespace, which is
+# sufficient for the plain paths used here (no nested parentheses).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def dead_links(path: Path) -> list:
+    """Return (target, resolved) pairs in *path* that do not exist."""
+    missing = []
+    for match in LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            missing.append((target, resolved))
+    return missing
+
+
+def main() -> int:
+    documents = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    checked = 0
+    broken = 0
+    for document in documents:
+        if not document.exists():
+            print(f"MISSING DOCUMENT: {document}", file=sys.stderr)
+            broken += 1
+            continue
+        checked += 1
+        for target, resolved in dead_links(document):
+            relative = document.relative_to(REPO)
+            print(f"DEAD LINK: {relative}: ({target}) -> {resolved}",
+                  file=sys.stderr)
+            broken += 1
+    if broken:
+        print(f"{broken} dead link(s) across {checked} document(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {checked} document(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
