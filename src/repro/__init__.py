@@ -24,6 +24,7 @@ Quickstart::
 """
 
 from repro.core import (
+    OPTIMIZER_REGISTRY,
     AdaptiveOptions,
     BasicDescentOptions,
     ChainState,
@@ -32,11 +33,18 @@ from repro.core import (
     CoverageCost,
     IterationRecord,
     MirrorOptions,
+    MultiRayBatch,
     MultiStartResult,
     OptimizationResult,
+    OptimizerOptions,
+    OptimizerSpec,
     PerturbedOptions,
+    SearchOptions,
+    coerce_options,
     damped_baseline_matrix,
     dirichlet_matrix,
+    lockstep_multistart,
+    optimize,
     optimize_adaptive,
     optimize_basic,
     optimize_mirror,
@@ -102,6 +110,15 @@ __all__ = [
     "damped_baseline_matrix",
     "MultiStartResult",
     "optimize_multistart",
+    "lockstep_multistart",
+    "MultiRayBatch",
+    # façade
+    "optimize",
+    "OptimizerSpec",
+    "OPTIMIZER_REGISTRY",
+    "OptimizerOptions",
+    "SearchOptions",
+    "coerce_options",
     # exec
     "BACKENDS",
     "Executor",

@@ -28,11 +28,8 @@ import repro.experiments as experiments
 from repro import persist
 from repro.analysis.pareto import pareto_filter, tradeoff_curve
 from repro.exec import BACKENDS, using_executor
-from repro.core.adaptive import AdaptiveOptions, optimize_adaptive
+from repro.core.api import OPTIMIZER_REGISTRY, optimize
 from repro.core.cost import CostWeights, CoverageCost
-from repro.core.descent import BasicDescentOptions, optimize_basic
-from repro.core.multistart import optimize_multistart
-from repro.core.perturbed import PerturbedOptions, optimize_perturbed
 from repro.simulation.engine import (
     ENGINES,
     SimulationOptions,
@@ -153,39 +150,27 @@ def _cmd_optimize(args) -> int:
         entropy_weight=args.entropy_weight,
     )
     cost = CoverageCost(topology, weights)
-    if args.algorithm == "basic":
-        result = optimize_basic(
-            cost,
-            options=BasicDescentOptions(
-                step_size=args.step_size,
-                max_iterations=args.iterations,
-            ),
-        )
-    elif args.algorithm == "adaptive":
-        result = optimize_adaptive(
-            cost, seed=args.seed,
-            options=AdaptiveOptions(max_iterations=args.iterations),
-        )
-    elif args.algorithm == "perturbed":
-        result = optimize_perturbed(
-            cost, seed=args.seed,
-            options=PerturbedOptions(max_iterations=args.iterations),
-        )
-    elif args.algorithm == "mirror":
-        from repro.core.mirror import MirrorOptions, optimize_mirror
-
-        result = optimize_mirror(
-            cost,
-            options=MirrorOptions(max_iterations=args.iterations),
-        )
-    else:  # multistart
-        result = optimize_multistart(
-            cost, seed=args.seed,
-            options=PerturbedOptions(
-                max_iterations=args.iterations,
-                stall_limit=args.iterations + 1,
-            ),
-        ).best
+    method = args.method
+    spec = OPTIMIZER_REGISTRY[method]
+    options = {"max_iterations": args.iterations}
+    if method == "basic":
+        options["step_size"] = args.step_size
+    if method == "multistart":
+        # One shared iteration budget: never stop a start early.
+        options["stall_limit"] = args.iterations + 1
+    kwargs = {}
+    if spec.accepts_seed:
+        kwargs["seed"] = args.seed
+    if args.execution is not None:
+        if not spec.accepts_execution:
+            raise SystemExit(
+                f"--execution applies only to --method multistart, "
+                f"not {method!r}"
+            )
+        kwargs["execution"] = args.execution
+    result = optimize(cost, method=method, options=options, **kwargs)
+    if method == "multistart":
+        result = result.best
 
     np.set_printoptions(precision=4, suppress=True)
     print(result.summary())
@@ -326,9 +311,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--energy-target", type=float, default=0.0)
     p_opt.add_argument("--entropy-weight", type=float, default=0.0)
     p_opt.add_argument(
-        "--algorithm", default="perturbed",
-        choices=("basic", "adaptive", "perturbed", "multistart",
-                 "mirror"),
+        "--method", "--algorithm", dest="method", default="perturbed",
+        choices=tuple(OPTIMIZER_REGISTRY),
+        help=(
+            "optimizer variant (one per repro.OPTIMIZER_REGISTRY entry; "
+            "--algorithm is the historical spelling)"
+        ),
+    )
+    p_opt.add_argument(
+        "--execution", default=None,
+        help=(
+            "how --method multistart runs its starts: 'serial', "
+            "'lockstep' (fused line searches), or an execution backend "
+            "name"
+        ),
     )
     p_opt.add_argument("--iterations", type=int, default=400)
     p_opt.add_argument(

@@ -15,7 +15,18 @@ The pieces map one-to-one onto the paper's sections:
 """
 
 from repro.core.state import ChainState
-from repro.core.cost import CostBreakdown, CostWeights, CoverageCost
+from repro.core.cost import (
+    CostBreakdown,
+    CostWeights,
+    CoverageCost,
+    MultiRayBatch,
+    RayBatch,
+)
+from repro.core.options import (
+    OptimizerOptions,
+    SearchOptions,
+    coerce_options,
+)
 from repro.core.initializers import (
     damped_baseline_matrix,
     dirichlet_matrix,
@@ -32,12 +43,23 @@ from repro.core.multistart import (
     default_start_portfolio,
     optimize_multistart,
 )
+from repro.core.lockstep import lockstep_multistart
+from repro.core.api import OPTIMIZER_REGISTRY, OptimizerSpec, optimize
 
 __all__ = [
     "ChainState",
     "CostBreakdown",
     "CostWeights",
     "CoverageCost",
+    "RayBatch",
+    "MultiRayBatch",
+    "OptimizerOptions",
+    "SearchOptions",
+    "coerce_options",
+    "optimize",
+    "OptimizerSpec",
+    "OPTIMIZER_REGISTRY",
+    "lockstep_multistart",
     "uniform_matrix",
     "paper_random_matrix",
     "dirichlet_matrix",

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.cost import CoverageCost
 from repro.core.initializers import paper_random_matrix
 from repro.core.linesearch import feasible_step_bound, trisection_search
+from repro.core.options import SearchOptions
 from repro.core.result import IterationRecord, OptimizationResult
 from repro.core.state import ChainState
 from repro.utils import perf
@@ -26,7 +27,7 @@ from repro.utils.rng import RandomState
 
 
 @dataclass(frozen=True)
-class AdaptiveOptions:
+class AdaptiveOptions(SearchOptions):
     """Knobs of the adaptive algorithm (V2 + V3).
 
     ``reuse_linesearch_state`` hands the line search's winning probe's
@@ -35,22 +36,7 @@ class AdaptiveOptions:
     """
 
     max_iterations: int = 500
-    trisection_rounds: int = 40
-    geometric_decades: int = 12
-    rtol: float = 1e-12
-    record_history: bool = True
-    checkpoint_every: int = 0
     reuse_linesearch_state: bool = True
-
-    def __post_init__(self) -> None:
-        if self.max_iterations < 1:
-            raise ValueError("max_iterations must be >= 1")
-        if self.trisection_rounds < 1:
-            raise ValueError("trisection_rounds must be >= 1")
-        if self.geometric_decades < 0:
-            raise ValueError("geometric_decades must be >= 0")
-        if self.checkpoint_every < 0:
-            raise ValueError("checkpoint_every must be >= 0")
 
 
 def optimize_adaptive(

@@ -363,6 +363,16 @@ class CoverageCost:
         """
         return RayBatch(self, matrix, direction)
 
+    def multi_ray_batch(self, pairs) -> "MultiRayBatch":
+        """Fused evaluator over several ``(matrix, direction)`` rays.
+
+        The returned :class:`MultiRayBatch` stacks all participating
+        rays' probes into one :meth:`batch_evaluate` call per
+        line-search stage and keeps per-ray winners — the lockstep
+        multi-start driver's hot path (see :mod:`repro.core.lockstep`).
+        """
+        return MultiRayBatch.from_directions(self, pairs)
+
     # ------------------------------------------------------------------ #
 
     def _as_state(self, matrix_or_state) -> ChainState:
@@ -408,6 +418,16 @@ class RayBatch:
         steps = np.asarray(steps, dtype=float)
         stack = self._stack(steps)
         values, pis, zs, ok = self._cost.batch_evaluate(stack)
+        return self._observe(steps, stack, values, pis, zs, ok)
+
+    def _observe(self, steps, stack, values, pis, zs, ok) -> np.ndarray:
+        """Track the first strictly-best feasible probe of one batch.
+
+        Shared by the single-ray path (``__call__``) and the fused
+        multi-ray path (:class:`MultiRayBatch`), which hands in each
+        ray's slice of one stacked evaluation — so the winner a ray
+        records is independent of how its probes were batched.
+        """
         usable = ok & np.isfinite(values)
         if usable.any():
             masked = np.where(usable, values, np.inf)
@@ -445,6 +465,109 @@ class RayBatch:
             return float(values[0]), None
         state = ChainState.from_parts(stack[0], pis[0], zs[0])
         return float(values[0]), state
+
+
+class MultiRayBatch:
+    """Lockstep evaluation of several rays through one stacked call.
+
+    Each ray is a :class:`RayBatch` with its own base matrix, direction,
+    and winner tracking.  :meth:`evaluate` concatenates every
+    participating ray's probe matrices into a single ``(k, M, M)`` stack,
+    runs one :meth:`CoverageCost.batch_evaluate`, and demultiplexes the
+    per-ray slices back through each ray's ``_observe`` — the exact
+    first-strictly-best rule the single-ray path applies.  Because
+    ``batch_evaluate`` treats every stack member independently, the
+    values (and therefore each ray's recorded winner) are bit-identical
+    to evaluating the rays one at a time; only the Python-level and
+    LAPACK dispatch overhead is amortized across rays.
+
+    Used by :mod:`repro.core.lockstep` to fuse the line searches of all
+    active multi-start trajectories at each descent iteration.
+    """
+
+    def __init__(self, cost: CoverageCost, rays) -> None:
+        self._cost = cost
+        self.rays: List[RayBatch] = list(rays)
+
+    @classmethod
+    def from_directions(cls, cost: CoverageCost, pairs):
+        """Build from ``(matrix, direction)`` pairs."""
+        return cls(cost, [RayBatch(cost, m, d) for m, d in pairs])
+
+    def __len__(self) -> int:
+        return len(self.rays)
+
+    def _fused(self, steps_per_ray):
+        """Concatenate participating rays' stacks; yield slice metadata.
+
+        ``steps_per_ray`` aligns with :attr:`rays`; ``None`` entries sit
+        out this stage.  Returns ``(parts, fused_results)`` where
+        ``parts`` is a list of ``(index, steps, lo, hi)`` slice bounds.
+        """
+        parts = []
+        chunks = []
+        offset = 0
+        for index, steps in enumerate(steps_per_ray):
+            if steps is None:
+                continue
+            steps = np.asarray(steps, dtype=float)
+            chunk = self.rays[index]._stack(steps)
+            parts.append((index, steps, offset, offset + steps.size))
+            chunks.append(chunk)
+            offset += steps.size
+        if not chunks:
+            return parts, None, None
+        fused = np.concatenate(chunks, axis=0)
+        return parts, self._cost.batch_evaluate(fused), fused
+
+    def evaluate(self, steps_per_ray) -> List[Optional[np.ndarray]]:
+        """One fused line-search stage across the rays.
+
+        ``steps_per_ray[i]`` is the step array ray ``i`` evaluates this
+        stage, or ``None`` for a ray sitting the stage out.  Returns the
+        per-ray ``U_eps`` arrays (``None`` where the input was ``None``),
+        with each ray's winner tracking updated exactly as if it had
+        evaluated its steps alone.
+        """
+        out: List[Optional[np.ndarray]] = [None] * len(self.rays)
+        fused = self._fused(steps_per_ray)
+        if fused[1] is None:
+            return out
+        parts, (values, pis, zs, ok), stack = fused
+        for index, steps, lo, hi in parts:
+            out[index] = self.rays[index]._observe(
+                steps, stack[lo:hi], values[lo:hi],
+                pis[lo:hi], zs[lo:hi], ok[lo:hi],
+            )
+        return out
+
+    def probe_states(self, step_per_ray) -> List[Optional[tuple]]:
+        """Fused :meth:`RayBatch.probe_state` across the rays.
+
+        ``step_per_ray[i]`` is a single extra step for ray ``i`` or
+        ``None``.  Returns ``(value, state_or_None)`` per probed ray
+        without disturbing any ray's recorded winner — the lockstep
+        driver evaluates all trajectories' random fallback steps in one
+        stacked call this way.
+        """
+        out: List[Optional[tuple]] = [None] * len(self.rays)
+        steps_per_ray = [
+            None if step is None else np.asarray([float(step)])
+            for step in step_per_ray
+        ]
+        fused = self._fused(steps_per_ray)
+        if fused[1] is None:
+            return out
+        parts, (values, pis, zs, ok), stack = fused
+        for index, _, lo, _ in parts:
+            if not ok[lo] or not np.isfinite(values[lo]):
+                out[index] = (float(values[lo]), None)
+            else:
+                state = ChainState.from_parts(
+                    stack[lo], pis[lo], zs[lo]
+                )
+                out[index] = (float(values[lo]), state)
+        return out
 
 
 def _solve_one_by_one(systems: np.ndarray, rhs: np.ndarray) -> np.ndarray:

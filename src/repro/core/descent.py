@@ -26,12 +26,13 @@ import numpy as np
 from repro.core.cost import CoverageCost
 from repro.core.initializers import uniform_matrix
 from repro.core.linesearch import feasible_step_bound
+from repro.core.options import OptimizerOptions
 from repro.core.result import IterationRecord, OptimizationResult
 from repro.core.state import ChainState
 
 
 @dataclass(frozen=True)
-class BasicDescentOptions:
+class BasicDescentOptions(OptimizerOptions):
     """Knobs of the basic algorithm.
 
     ``step_size`` is the paper's ``dt`` (its experiments use ``1e-6``
@@ -41,23 +42,18 @@ class BasicDescentOptions:
     ``gradient_tol``.
     """
 
-    step_size: float = 1e-6
     max_iterations: int = 10_000
     rtol: float = 1e-10
+    step_size: float = 1e-6
     patience: int = 10
     gradient_tol: float = 0.0
-    record_history: bool = True
-    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if self.step_size <= 0:
             raise ValueError(f"step_size must be > 0, got {self.step_size}")
-        if self.max_iterations < 1:
-            raise ValueError("max_iterations must be >= 1")
         if self.patience < 1:
             raise ValueError("patience must be >= 1")
-        if self.checkpoint_every < 0:
-            raise ValueError("checkpoint_every must be >= 0")
 
 
 def optimize_basic(

@@ -98,6 +98,156 @@ class _RayEvaluator:
         return values
 
 
+class TrisectionState:
+    """One conservative trisection search, advanced evaluation by
+    evaluation.
+
+    :func:`trisection_search` drives this state machine to completion
+    against a single ray; the lockstep driver
+    (:mod:`repro.core.lockstep`) instead advances *many* instances one
+    stage at a time, fusing each stage's probe evaluations across rays
+    into a single stacked call (see
+    :class:`repro.core.cost.MultiRayBatch`).  Both paths execute the
+    identical decision arithmetic, so the resulting steps are
+    bit-identical by construction.
+
+    Protocol: :meth:`sweep_steps` -> :meth:`observe_sweep` ->
+    repeatedly (:meth:`round_steps` -> :meth:`observe_round`) until
+    ``round_steps`` returns ``None`` -> :meth:`result`.  A search that
+    is finished (infeasible bound, non-finite baseline, exhausted
+    rounds, or a collapsed bracket) returns ``None`` from both
+    ``*_steps`` methods.
+    """
+
+    def __init__(
+        self,
+        upper: float,
+        baseline: float,
+        rounds: int = 40,
+        improvement_rtol: float = 1e-12,
+        geometric_decades: int = 12,
+    ) -> None:
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if geometric_decades < 0:
+            raise ValueError(
+                f"geometric_decades must be >= 0, got {geometric_decades}"
+            )
+        self.upper = upper
+        self.baseline = baseline
+        self.improvement_rtol = improvement_rtol
+        self.geometric_decades = geometric_decades
+        self.evaluations = 0
+        self._rounds_left = rounds
+        self._swept = False
+        self._result: Optional[LineSearchResult] = None
+        if upper <= 0.0 or not np.isfinite(baseline):
+            self._result = LineSearchResult(
+                step=0.0, value=baseline, evaluations=0,
+                step_bound=max(upper, 0.0),
+            )
+
+    @property
+    def finished(self) -> bool:
+        """True once the search has produced its result."""
+        return self._result is not None
+
+    def sweep_steps(self) -> Optional[np.ndarray]:
+        """Steps of the geometric pre-sweep, or ``None`` when finished."""
+        if self._result is not None or self._swept:
+            return None
+        # Geometric sweep: the endpoint plus ``upper * 10^-k`` probes,
+        # all in one batched evaluation.
+        self._probes = float(self.upper) * 10.0 ** (
+            -np.arange(self.geometric_decades + 1, dtype=float)
+        )
+        return self._probes
+
+    def observe_sweep(self, probe_values: np.ndarray) -> None:
+        """Record the sweep's values and bracket the best probe."""
+        self.evaluations += len(probe_values)
+        best_index = int(np.argmin(probe_values))
+        best_step = float(self._probes[best_index])
+        best_value = float(probe_values[best_index])
+        if best_value >= self.baseline:
+            best_step, best_value = 0.0, float(self.baseline)
+        self.best_step = best_step
+        self.best_value = best_value
+        # Local trisection refinement in a bracket around the best probe
+        # (the whole interval when the sweep found nothing better than 0).
+        if best_step > 0.0:
+            self._lo = best_step * 0.1
+            self._hi = min(best_step * 10.0, float(self.upper))
+        else:
+            self._lo, self._hi = 0.0, float(self.upper)
+        self._swept = True
+
+    def round_steps(self) -> Optional[np.ndarray]:
+        """The next refinement round's ``[m1, m2]``, or ``None`` when
+        done."""
+        if self._result is not None or not self._swept:
+            return None
+        width = self._hi - self._lo
+        if self._rounds_left <= 0 or width <= max(
+            1e-15, 1e-12 * self.upper
+        ):
+            self._finish()
+            return None
+        self._rounds_left -= 1
+        self._m1 = self._lo + width / 3.0
+        self._m2 = self._hi - width / 3.0
+        return np.array([self._m1, self._m2])
+
+    def observe_round(self, v1: float, v2: float) -> None:
+        """Record one round's two probe values and shrink the bracket."""
+        self.evaluations += 2
+        if v1 < self.best_value:
+            self.best_step, self.best_value = self._m1, float(v1)
+        if v2 < self.best_value:
+            self.best_step, self.best_value = self._m2, float(v2)
+        # Conservative: drop only the one third on the losing side.
+        if v1 <= v2:
+            self._hi = self._m2
+        else:
+            self._lo = self._m1
+
+    def _finish(self) -> None:
+        threshold = self.baseline - self.improvement_rtol * max(
+            1.0, abs(self.baseline)
+        )
+        if self.best_value >= threshold:
+            self._result = LineSearchResult(
+                step=0.0, value=self.baseline,
+                evaluations=self.evaluations, step_bound=self.upper,
+            )
+        else:
+            self._result = LineSearchResult(
+                step=self.best_step, value=self.best_value,
+                evaluations=self.evaluations, step_bound=self.upper,
+            )
+
+    def result(
+        self, evaluations: Optional[int] = None
+    ) -> LineSearchResult:
+        """The search outcome (finalizing a still-open bracket first).
+
+        ``evaluations`` overrides the recorded count —
+        :func:`trisection_search` uses it to also charge a baseline
+        evaluation it may have performed before the state was built.
+        """
+        if self._result is None:
+            self._finish()
+        if evaluations is not None and (
+            evaluations != self._result.evaluations
+        ):
+            self._result = LineSearchResult(
+                step=self._result.step, value=self._result.value,
+                evaluations=evaluations,
+                step_bound=self._result.step_bound,
+            )
+        return self._result
+
+
 def trisection_search(
     objective: Optional[Callable[[float], float]] = None,
     upper: float = 0.0,
@@ -108,6 +258,11 @@ def trisection_search(
     batch_objective: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> LineSearchResult:
     """Minimize the ray objective over ``[0, upper]``.
+
+    A thin driver over :class:`TrisectionState`: each stage's probes are
+    fed to the (preferably batched) objective and the values handed
+    back, so this serial path and the lockstep multi-ray path share the
+    exact step-selection arithmetic.
 
     Parameters
     ----------
@@ -130,64 +285,21 @@ def trisection_search(
     batch_objective:
         Vectorized ``d-array -> U-array``; preferred when available.
     """
-    if rounds < 1:
-        raise ValueError(f"rounds must be >= 1, got {rounds}")
-    if geometric_decades < 0:
-        raise ValueError(
-            f"geometric_decades must be >= 0, got {geometric_decades}"
-        )
     evaluator = _RayEvaluator(objective, batch_objective)
     if baseline is None:
         baseline = float(evaluator([0.0])[0])
-    if upper <= 0.0 or not np.isfinite(baseline):
-        return LineSearchResult(
-            step=0.0, value=baseline, evaluations=evaluator.evaluations,
-            step_bound=max(upper, 0.0),
-        )
-
-    # Geometric sweep: the endpoint plus ``upper * 10^-k`` probes, all in
-    # one batched evaluation.
-    probes = float(upper) * 10.0 ** (
-        -np.arange(geometric_decades + 1, dtype=float)
+    search = TrisectionState(
+        upper=upper, baseline=baseline, rounds=rounds,
+        improvement_rtol=improvement_rtol,
+        geometric_decades=geometric_decades,
     )
-    probe_values = evaluator(probes)
-    best_index = int(np.argmin(probe_values))
-    best_step = float(probes[best_index])
-    best_value = float(probe_values[best_index])
-    if best_value >= baseline:
-        best_step, best_value = 0.0, float(baseline)
-
-    # Local trisection refinement in a bracket around the best probe (the
-    # whole interval when the sweep found nothing better than 0).
-    if best_step > 0.0:
-        lo = best_step * 0.1
-        hi = min(best_step * 10.0, float(upper))
-    else:
-        lo, hi = 0.0, float(upper)
-    for _ in range(rounds):
-        width = hi - lo
-        if width <= max(1e-15, 1e-12 * upper):
-            break
-        m1 = lo + width / 3.0
-        m2 = hi - width / 3.0
-        v1, v2 = evaluator([m1, m2])
-        if v1 < best_value:
-            best_step, best_value = m1, float(v1)
-        if v2 < best_value:
-            best_step, best_value = m2, float(v2)
-        # Conservative: drop only the one third on the losing side.
-        if v1 <= v2:
-            hi = m2
-        else:
-            lo = m1
-
-    threshold = baseline - improvement_rtol * max(1.0, abs(baseline))
-    if best_value >= threshold:
-        return LineSearchResult(
-            step=0.0, value=baseline, evaluations=evaluator.evaluations,
-            step_bound=upper,
-        )
-    return LineSearchResult(
-        step=best_step, value=best_value,
-        evaluations=evaluator.evaluations, step_bound=upper,
-    )
+    probes = search.sweep_steps()
+    if probes is not None:
+        search.observe_sweep(evaluator(probes))
+        while True:
+            pair = search.round_steps()
+            if pair is None:
+                break
+            v1, v2 = evaluator(pair)
+            search.observe_round(v1, v2)
+    return search.result(evaluations=evaluator.evaluations)

@@ -31,13 +31,14 @@ import numpy as np
 
 from repro.core.cost import CoverageCost
 from repro.core.linesearch import trisection_search
+from repro.core.options import SearchOptions
 from repro.core.result import IterationRecord, OptimizationResult
 from repro.core.state import ChainState
 from repro.utils.rng import RandomState, as_generator
 
 
 @dataclass(frozen=True)
-class MirrorOptions:
+class MirrorOptions(SearchOptions):
     """Knobs of the mirror-descent optimizer.
 
     ``momentum`` is classical heavy-ball momentum on the ``Q``-space
@@ -47,16 +48,13 @@ class MirrorOptions:
     """
 
     max_iterations: int = 400
-    momentum: float = 0.5
-    max_logit: float = 30.0
     trisection_rounds: int = 20
     geometric_decades: int = 10
-    rtol: float = 1e-12
-    record_history: bool = True
+    momentum: float = 0.5
+    max_logit: float = 30.0
 
     def __post_init__(self) -> None:
-        if self.max_iterations < 1:
-            raise ValueError("max_iterations must be >= 1")
+        super().__post_init__()
         if not 0.0 <= self.momentum < 1.0:
             raise ValueError(
                 f"momentum must lie in [0, 1), got {self.momentum}"
@@ -116,6 +114,7 @@ def optimize_mirror(
     breakdown = cost.evaluate(state)
     velocity = np.zeros_like(logits)
     history = []
+    checkpoints = []
     stop_reason = "max_iterations"
     converged = False
     iteration = 0
@@ -161,6 +160,11 @@ def optimize_mirror(
         )
         state = ChainState.from_matrix(softmax_rows(logits), check=False)
         breakdown = cost.evaluate(state)
+        if (
+            options.checkpoint_every
+            and iteration % options.checkpoint_every == 0
+        ):
+            checkpoints.append((iteration, state.p.copy()))
         if options.record_history:
             history.append(
                 IterationRecord(
@@ -184,4 +188,5 @@ def optimize_mirror(
         converged=converged,
         stop_reason=stop_reason,
         history=history,
+        checkpoints=checkpoints,
     )

@@ -105,6 +105,7 @@ def optimize_multistart(
     seed: RandomState = None,
     options: Optional[PerturbedOptions] = None,
     executor=None,
+    execution=None,
 ) -> MultiStartResult:
     """Run ``optimizer`` from every start in the portfolio; keep the best.
 
@@ -116,7 +117,38 @@ def optimize_multistart(
     outcome is bit-identical whichever :mod:`repro.exec` backend runs
     them (the ``process`` backend additionally requires ``optimizer`` to
     be picklable — the default is).
+
+    ``execution`` selects how the starts run: ``"serial"`` (one after
+    another, same as ``executor=None``), ``"lockstep"`` (all starts
+    advance one descent iteration at a time with their line searches
+    fused into stacked calls — see :mod:`repro.core.lockstep`; only the
+    default perturbed optimizer supports it), or any :mod:`repro.exec`
+    backend name / :class:`~repro.exec.executor.Executor` instance.
+    Every mode returns bit-identical runs.  ``executor`` remains as the
+    original spelling for executor-backed runs; passing both is an
+    error.
     """
+    if execution is not None:
+        if executor is not None:
+            raise ValueError(
+                "pass either execution= or executor=, not both"
+            )
+        if execution == "lockstep":
+            if optimizer is not None and optimizer is not optimize_perturbed:
+                raise ValueError(
+                    "execution='lockstep' supports only the default "
+                    "perturbed optimizer"
+                )
+            from repro.core.lockstep import lockstep_multistart
+
+            return lockstep_multistart(
+                cost,
+                random_starts=random_starts,
+                delta_grid=delta_grid,
+                seed=seed,
+                options=options,
+            )
+        executor = None if execution == "serial" else execution
     rng = as_generator(seed)
     if optimizer is None:
         optimizer = optimize_perturbed

@@ -1,0 +1,108 @@
+"""Shared option dataclasses for the optimizer variants.
+
+Every optimizer's knobs derive from :class:`OptimizerOptions`, which
+carries the fields all variants understand — the iteration budget, the
+relative improvement tolerance, and the history/checkpoint recording
+switches.  Line-search optimizers additionally derive from
+:class:`SearchOptions`, which adds the conservative-trisection knobs of
+:mod:`repro.core.linesearch`.  Subclasses redeclare inherited fields to
+change their defaults (e.g. the basic algorithm's looser ``rtol``).
+
+The shared base is what lets :func:`repro.core.api.optimize` treat the
+variants uniformly: :func:`coerce_options` turns a plain ``dict`` into
+the right options class with a clear error naming any unknown keys, so
+``repro.optimize(..., options=dict(max_iterations=100))`` works for
+every method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Mapping, Optional, Type
+
+
+@dataclass(frozen=True)
+class OptimizerOptions:
+    """Knobs shared by every optimizer variant.
+
+    ``max_iterations`` bounds the outer descent loop; ``rtol`` is the
+    relative improvement tolerance the variant's stopping rule uses;
+    ``record_history`` toggles per-iteration
+    :class:`~repro.core.result.IterationRecord` collection; a positive
+    ``checkpoint_every`` snapshots the iterate matrix every that many
+    iterations.
+    """
+
+    max_iterations: int = 500
+    rtol: float = 1e-12
+    record_history: bool = True
+    checkpoint_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+
+
+@dataclass(frozen=True)
+class SearchOptions(OptimizerOptions):
+    """Adds the conservative-trisection line-search knobs.
+
+    ``trisection_rounds`` refinement rounds follow a geometric pre-sweep
+    of ``geometric_decades`` probes (see
+    :func:`repro.core.linesearch.trisection_search`).
+    """
+
+    trisection_rounds: int = 40
+    geometric_decades: int = 12
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.trisection_rounds < 1:
+            raise ValueError(
+                f"trisection_rounds must be >= 1, "
+                f"got {self.trisection_rounds}"
+            )
+        if self.geometric_decades < 0:
+            raise ValueError(
+                f"geometric_decades must be >= 0, "
+                f"got {self.geometric_decades}"
+            )
+
+
+def coerce_options(
+    options_class: Type[OptimizerOptions],
+    value,
+    method: Optional[str] = None,
+):
+    """Normalize a user-supplied ``options`` argument.
+
+    ``None`` passes through (the optimizer applies its defaults), an
+    instance of ``options_class`` passes through unchanged, and a
+    mapping is expanded into ``options_class(**value)`` after rejecting
+    unknown keys with a :class:`ValueError` that names both the
+    offenders and the valid field set.  Any other type — including an
+    options instance for a *different* method — raises :class:`TypeError`.
+    """
+    label = f"method {method!r}" if method else options_class.__name__
+    if value is None or isinstance(value, options_class):
+        return value
+    if isinstance(value, OptimizerOptions):
+        raise TypeError(
+            f"{label} expects {options_class.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    if isinstance(value, Mapping):
+        valid = [f.name for f in fields(options_class)]
+        unknown = sorted(set(value) - set(valid))
+        if unknown:
+            raise ValueError(
+                f"unknown option(s) for {label}: {', '.join(unknown)}; "
+                f"valid options: {', '.join(sorted(valid))}"
+            )
+        return options_class(**dict(value))
+    raise TypeError(
+        f"{label} options must be None, a mapping, or "
+        f"{options_class.__name__}; got {type(value).__name__}"
+    )

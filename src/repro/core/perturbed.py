@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.cost import CoverageCost
 from repro.core.initializers import paper_random_matrix
 from repro.core.linesearch import feasible_step_bound, trisection_search
+from repro.core.options import SearchOptions
 from repro.core.result import IterationRecord, OptimizationResult
 from repro.core.state import ChainState
 from repro.utils import perf
@@ -42,7 +43,7 @@ from repro.utils.rng import RandomState, as_generator
 
 
 @dataclass(frozen=True)
-class PerturbedOptions:
+class PerturbedOptions(SearchOptions):
     """Knobs of the perturbed algorithm (V2 + V3 + V4).
 
     ``sigma`` scales the gradient noise *relative to* the gradient's RMS
@@ -62,26 +63,16 @@ class PerturbedOptions:
     relative_noise: bool = True
     cooling_k: float = 10_000.0
     stall_limit: int = 120
-    trisection_rounds: int = 40
-    geometric_decades: int = 12
-    rtol: float = 1e-12
-    record_history: bool = True
-    checkpoint_every: int = 0
     reuse_linesearch_state: bool = True
 
     def __post_init__(self) -> None:
-        if self.max_iterations < 1:
-            raise ValueError("max_iterations must be >= 1")
+        super().__post_init__()
         if self.sigma < 0:
             raise ValueError(f"sigma must be >= 0, got {self.sigma}")
         if self.cooling_k <= 0:
             raise ValueError(f"cooling_k must be > 0, got {self.cooling_k}")
         if self.stall_limit < 1:
             raise ValueError("stall_limit must be >= 1")
-        if self.geometric_decades < 0:
-            raise ValueError("geometric_decades must be >= 0")
-        if self.checkpoint_every < 0:
-            raise ValueError("checkpoint_every must be >= 0")
 
 
 def acceptance_probability(
@@ -111,6 +102,7 @@ def acquire_candidate(
     ray,
     from_search: bool,
     reuse: bool,
+    probe=None,
 ):
     """The candidate state and breakdown at ``base + step * direction``.
 
@@ -118,16 +110,21 @@ def acquire_candidate(
     :class:`~repro.core.cost.RayBatch` with their already-computed
     ``(pi, Z)``, and random fallback steps are evaluated through the
     same batched path — either way no scalar refactorization happens.
-    Falls back to a scratch :meth:`ChainState.from_matrix` build when the
-    probe cannot be recovered.  Returns ``(None, None)`` for infeasible
-    candidates.
+    ``probe`` optionally supplies an already-evaluated
+    ``(value, state_or_None)`` fallback probe (the lockstep driver fuses
+    those across trajectories); when omitted, ``ray.probe_state`` is
+    called here.  Falls back to a scratch
+    :meth:`ChainState.from_matrix` build when the probe cannot be
+    recovered.  Returns ``(None, None)`` for infeasible candidates.
     """
     candidate_state = None
     if reuse and ray is not None:
         if from_search:
             candidate_state = ray.state_at(step)
         else:
-            candidate_state = ray.probe_state(step)[1]
+            if probe is None:
+                probe = ray.probe_state(step)
+            candidate_state = probe[1]
             if candidate_state is None:
                 return None, None
     if candidate_state is None:
@@ -141,6 +138,211 @@ def acquire_candidate(
         return candidate_state, cost.evaluate(candidate_state)
     except (ValueError, np.linalg.LinAlgError):
         return None, None
+
+
+class SearchSpec:
+    """What one iteration's line search needs: the ray and its bounds."""
+
+    __slots__ = ("matrix", "direction", "bound", "baseline")
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        direction: np.ndarray,
+        bound: float,
+        baseline: float,
+    ) -> None:
+        self.matrix = matrix
+        self.direction = direction
+        self.bound = bound
+        self.baseline = baseline
+
+
+class PerturbedWalk:
+    """One perturbed-descent trajectory, advanced iteration by iteration.
+
+    :func:`optimize_perturbed` drives a single walk to completion; the
+    lockstep driver (:mod:`repro.core.lockstep`) advances many walks one
+    stage at a time, fusing their line-search probes into stacked
+    evaluations.  Both paths run the identical per-iteration arithmetic
+    and draw from the walk's own RNG in the identical order — gradient
+    noise, then the fallback step, then the acceptance test (which is
+    short-circuited, drawing nothing, for non-worsening moves) — so a
+    walk's trajectory is bit-identical regardless of the driver.
+
+    Protocol per iteration: :meth:`begin_iteration` returns a
+    :class:`SearchSpec` (or ``None`` once finished); the driver runs the
+    trisection search over that ray, then calls :meth:`choose_step` with
+    the search result, which returns a fallback step needing a probe (or
+    ``None``); finally :meth:`complete_iteration` with the ray and the
+    optional probe applies the move.  :meth:`result` packages the
+    outcome.
+    """
+
+    def __init__(
+        self,
+        cost: CoverageCost,
+        initial: Optional[np.ndarray],
+        rng,
+        options: PerturbedOptions,
+    ) -> None:
+        self.cost = cost
+        self.options = options
+        self.rng = as_generator(rng)
+        matrix = (
+            paper_random_matrix(cost.size, seed=self.rng)
+            if initial is None else np.array(initial, dtype=float)
+        )
+        self.state = ChainState.from_matrix(matrix)
+        self.breakdown = cost.evaluate(self.state)
+        self.best_matrix = self.state.p.copy()
+        self.best_u_eps = self.breakdown.u_eps
+        self.best_breakdown = self.breakdown
+        self.history = []
+        self.checkpoints = []
+        self.stall = 0
+        self.stop_reason = "max_iterations"
+        self.iteration = 0
+        self.accepted_steps = 0
+        self.accept_factorizations = 0
+        self._finished = options.max_iterations < 1
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def begin_iteration(self) -> Optional[SearchSpec]:
+        """Start the next iteration: noisy direction and step bound."""
+        if self._finished:
+            return None
+        self.iteration += 1
+        gradient = self.cost.gradient(self.state)
+        self._gradient_norm = float(np.linalg.norm(gradient))
+        if self.options.sigma > 0.0:
+            if self.options.relative_noise:
+                rms = self._gradient_norm / self.state.p.size**0.5
+                noise_scale = self.options.sigma * max(rms, 1e-300)
+            else:
+                noise_scale = self.options.sigma
+            gradient = gradient + self.rng.normal(
+                0.0, noise_scale, size=gradient.shape
+            )
+        self._direction = -project_row_sum_zero(gradient)
+        self._bound = feasible_step_bound(self.state.p, self._direction)
+        return SearchSpec(
+            matrix=self.state.p,
+            direction=self._direction,
+            bound=self._bound,
+            baseline=self.breakdown.u_eps,
+        )
+
+    def choose_step(self, search) -> Optional[float]:
+        """Pick the step from the line-search result (or a random
+        fallback).
+
+        Returns the fallback step when it needs a probe evaluation from
+        the driver (reuse enabled, no improving search step), else
+        ``None``.
+        """
+        if search.step > 0.0:
+            self._step = search.step
+            self._from_search = True
+        elif self._bound > 0.0:
+            # Paper: "if dt* = 0 then dt = rand" within the feasible
+            # range.
+            self._step = self.rng.uniform(0.0, self._bound)
+            self._from_search = False
+        else:
+            self._step = 0.0
+            self._from_search = False
+        if (
+            self._step > 0.0
+            and not self._from_search
+            and self.options.reuse_linesearch_state
+        ):
+            return self._step
+        return None
+
+    def complete_iteration(self, ray, probe=None) -> None:
+        """Acquire the candidate, run the acceptance test, bookkeep."""
+        options = self.options
+        accepted = False
+        if self._step > 0.0:
+            with perf.perf_scope() as build:
+                candidate_state, candidate_breakdown = acquire_candidate(
+                    self.cost, self.state.p, self._direction, self._step,
+                    ray, self._from_search,
+                    options.reuse_linesearch_state, probe=probe,
+                )
+            if candidate_breakdown is not None and np.isfinite(
+                candidate_breakdown.u_eps
+            ):
+                worsening = (
+                    candidate_breakdown.u_eps - self.breakdown.u_eps
+                )
+                probability = acceptance_probability(
+                    worsening, self.best_u_eps, self.iteration,
+                    options.cooling_k,
+                )
+                if worsening <= 0.0 or self.rng.uniform() < probability:
+                    self.state = candidate_state
+                    self.breakdown = candidate_breakdown
+                    accepted = True
+                    self.accepted_steps += 1
+                    self.accept_factorizations += build.factorizations
+
+        if self.breakdown.u_eps < self.best_u_eps - 1e-15:
+            self.best_u_eps = self.breakdown.u_eps
+            self.best_matrix = self.state.p.copy()
+            self.best_breakdown = self.breakdown
+            self.stall = 0
+        else:
+            self.stall += 1
+
+        if options.record_history:
+            self.history.append(
+                IterationRecord(
+                    iteration=self.iteration,
+                    u_eps=self.breakdown.u_eps,
+                    u=self.breakdown.u,
+                    delta_c=self.breakdown.delta_c,
+                    e_bar=self.breakdown.e_bar,
+                    step=self._step if accepted else 0.0,
+                    gradient_norm=self._gradient_norm,
+                    accepted=accepted,
+                )
+            )
+
+        if (
+            options.checkpoint_every
+            and self.iteration % options.checkpoint_every == 0
+        ):
+            self.checkpoints.append((self.iteration, self.state.p.copy()))
+
+        if self.stall >= options.stall_limit:
+            self.stop_reason = "stalled"
+            self._finished = True
+        elif self.iteration >= options.max_iterations:
+            self._finished = True
+
+    def result(self, run_perf=None) -> OptimizationResult:
+        """Package the walk's outcome (best iterate, as the paper
+        reports)."""
+        return OptimizationResult(
+            matrix=self.best_matrix,
+            u_eps=self.best_breakdown.u_eps,
+            u=self.best_breakdown.u,
+            delta_c=self.best_breakdown.delta_c,
+            e_bar=self.best_breakdown.e_bar,
+            iterations=self.iteration,
+            converged=self.stop_reason == "stalled",
+            stop_reason=self.stop_reason,
+            history=self.history,
+            best_matrix=self.best_matrix,
+            best_u_eps=self.best_u_eps,
+            checkpoints=self.checkpoints,
+            perf=run_perf,
+        )
 
 
 def optimize_perturbed(
@@ -159,132 +361,29 @@ def optimize_perturbed(
     rng = as_generator(seed)
     started = time.perf_counter()
     with perf.perf_scope() as counters:
-        matrix = (
-            paper_random_matrix(cost.size, seed=rng) if initial is None
-            else np.array(initial, dtype=float)
-        )
-        state = ChainState.from_matrix(matrix)
-        breakdown = cost.evaluate(state)
-        best_matrix = state.p.copy()
-        best_u_eps = breakdown.u_eps
-        best_breakdown = breakdown
-        history = []
-        checkpoints = []
-        stall = 0
-        stop_reason = "max_iterations"
-        iteration = 0
-        accepted_steps = 0
-        accept_factorizations = 0
-
-        for iteration in range(1, options.max_iterations + 1):
-            gradient = cost.gradient(state)
-            gradient_norm = float(np.linalg.norm(gradient))
-            if options.sigma > 0.0:
-                if options.relative_noise:
-                    rms = gradient_norm / state.p.size**0.5
-                    noise_scale = options.sigma * max(rms, 1e-300)
-                else:
-                    noise_scale = options.sigma
-                gradient = gradient + rng.normal(
-                    0.0, noise_scale, size=gradient.shape
-                )
-            direction = -project_row_sum_zero(gradient)
-            bound = feasible_step_bound(state.p, direction)
-
-            ray = cost.ray_batch(state.p, direction)
+        walk = PerturbedWalk(cost, initial, rng, options)
+        while True:
+            spec = walk.begin_iteration()
+            if spec is None:
+                break
+            ray = cost.ray_batch(spec.matrix, spec.direction)
             search = trisection_search(
-                upper=bound,
-                baseline=breakdown.u_eps,
+                upper=spec.bound,
+                baseline=spec.baseline,
                 rounds=options.trisection_rounds,
                 improvement_rtol=options.rtol,
                 geometric_decades=options.geometric_decades,
                 batch_objective=ray,
             )
-            if search.step > 0.0:
-                step = search.step
-                from_search = True
-            elif bound > 0.0:
-                # Paper: "if dt* = 0 then dt = rand" within the feasible
-                # range.
-                step = rng.uniform(0.0, bound)
-                from_search = False
-            else:
-                step = 0.0
-                from_search = False
+            fallback = walk.choose_step(search)
+            probe = ray.probe_state(fallback) if fallback is not None else None
+            walk.complete_iteration(ray, probe)
 
-            accepted = False
-            if step > 0.0:
-                build_start = counters.factorizations
-                candidate_state, candidate_breakdown = acquire_candidate(
-                    cost, state.p, direction, step, ray, from_search,
-                    options.reuse_linesearch_state,
-                )
-                build_factorizations = (
-                    counters.factorizations - build_start
-                )
-                if candidate_breakdown is not None and np.isfinite(
-                    candidate_breakdown.u_eps
-                ):
-                    worsening = candidate_breakdown.u_eps - breakdown.u_eps
-                    probability = acceptance_probability(
-                        worsening, best_u_eps, iteration, options.cooling_k
-                    )
-                    if worsening <= 0.0 or rng.uniform() < probability:
-                        state = candidate_state
-                        breakdown = candidate_breakdown
-                        accepted = True
-                        accepted_steps += 1
-                        accept_factorizations += build_factorizations
-
-            if breakdown.u_eps < best_u_eps - 1e-15:
-                best_u_eps = breakdown.u_eps
-                best_matrix = state.p.copy()
-                best_breakdown = breakdown
-                stall = 0
-            else:
-                stall += 1
-
-            if options.record_history:
-                history.append(
-                    IterationRecord(
-                        iteration=iteration,
-                        u_eps=breakdown.u_eps,
-                        u=breakdown.u,
-                        delta_c=breakdown.delta_c,
-                        e_bar=breakdown.e_bar,
-                        step=step if accepted else 0.0,
-                        gradient_norm=gradient_norm,
-                        accepted=accepted,
-                    )
-                )
-
-            if (
-                options.checkpoint_every
-                and iteration % options.checkpoint_every == 0
-            ):
-                checkpoints.append((iteration, state.p.copy()))
-
-            if stall >= options.stall_limit:
-                stop_reason = "stalled"
-                break
-
-    return OptimizationResult(
-        matrix=best_matrix,
-        u_eps=best_breakdown.u_eps,
-        u=best_breakdown.u,
-        delta_c=best_breakdown.delta_c,
-        e_bar=best_breakdown.e_bar,
-        iterations=iteration,
-        converged=stop_reason == "stalled",
-        stop_reason=stop_reason,
-        history=history,
-        best_matrix=best_matrix,
-        best_u_eps=best_u_eps,
-        checkpoints=checkpoints,
-        perf=perf.OptimizerPerf.from_counters(
+    return walk.result(
+        run_perf=perf.OptimizerPerf.from_counters(
             counters,
-            accepted_steps=accepted_steps,
-            accept_factorizations=accept_factorizations,
+            accepted_steps=walk.accepted_steps,
+            accept_factorizations=walk.accept_factorizations,
             seconds=time.perf_counter() - started,
-        ),
+        )
     )

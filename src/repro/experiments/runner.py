@@ -22,10 +22,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.adaptive import AdaptiveOptions, optimize_adaptive
+from repro.core.api import optimize
 from repro.core.cost import CostWeights, CoverageCost
-from repro.core.multistart import optimize_multistart
-from repro.core.perturbed import PerturbedOptions, optimize_perturbed
+from repro.core.perturbed import PerturbedOptions
 from repro.core.result import OptimizationResult
 from repro.exec import resolve_executor
 from repro.simulation.engine import SimulationOptions, simulate_schedule
@@ -36,26 +35,14 @@ from repro.utils.rng import spawn_generators
 def _run_one(task) -> OptimizationResult:
     """One ``run_many`` task; module-level so it pickles for processes."""
     algorithm, cost, iterations, trisection_rounds, rng = task
-    if algorithm == "adaptive":
-        return optimize_adaptive(
-            cost,
-            seed=rng,
-            options=AdaptiveOptions(
-                max_iterations=iterations,
-                trisection_rounds=trisection_rounds,
-                record_history=False,
-            ),
-        )
-    return optimize_perturbed(
-        cost,
-        seed=rng,
-        options=PerturbedOptions(
-            max_iterations=iterations,
-            trisection_rounds=trisection_rounds,
-            stall_limit=max(iterations, 1),
-            record_history=False,
-        ),
-    )
+    options = {
+        "max_iterations": iterations,
+        "trisection_rounds": trisection_rounds,
+        "record_history": False,
+    }
+    if algorithm == "perturbed":
+        options["stall_limit"] = max(iterations, 1)
+    return optimize(cost, method=algorithm, seed=rng, options=options)
 
 
 def run_many(
@@ -95,12 +82,16 @@ def optimize_weight_setting(
     epsilon: float = 1e-4,
     initial: Optional[np.ndarray] = None,
     executor=None,
+    execution=None,
 ) -> OptimizationResult:
     """Best matrix for one ``(alpha, beta)`` weighting.
 
     Uses the multi-start perturbed optimizer (see
     :mod:`repro.core.multistart`); ``initial``, when given, is added to
     the portfolio as a warm start (used by sweep continuation).
+    ``execution`` forwards to the multi-start driver (e.g.
+    ``"lockstep"`` to fuse the starts' line searches — bit-identical,
+    faster on one core).
     """
     cost = CoverageCost(
         topology, CostWeights(alpha=alpha, beta=beta, epsilon=epsilon)
@@ -111,17 +102,20 @@ def optimize_weight_setting(
         stall_limit=max(iterations, 1),
         record_history=False,
     )
-    multi = optimize_multistart(
+    multi = optimize(
         cost,
-        random_starts=random_starts,
+        method="multistart",
         seed=seed,
         options=options,
+        random_starts=random_starts,
         executor=executor,
+        execution=execution,
     )
     best = multi.best
     if initial is not None:
-        warm = optimize_perturbed(
-            cost, initial=initial, seed=seed + 1, options=options
+        warm = optimize(
+            cost, method="perturbed", initial=initial, seed=seed + 1,
+            options=options,
         )
         if warm.best_u_eps < best.best_u_eps:
             best = warm

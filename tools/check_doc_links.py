@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""Fail on dead relative links in README.md and docs/*.md.
+"""Fail on dead relative links or anchors in README.md and docs/*.md.
 
 Scans Markdown inline links (``[text](target)``) in the repository's
 top-level README and every file under ``docs/``.  External targets
-(``http(s)://``, ``mailto:``) and pure fragments (``#section``) are
-skipped; everything else is resolved relative to the file that contains
-the link and must exist on disk.  Run from anywhere::
+(``http(s)://``, ``mailto:``) are skipped; everything else is resolved
+relative to the file that contains the link and must exist on disk.
+``#fragment`` parts — both same-file ``#section`` links and
+``file.md#section`` links — must additionally match a heading in the
+target document (GitHub's slug rule: lowercase, punctuation stripped,
+spaces to hyphens).  Run from anywhere::
 
     python tools/check_doc_links.py
 
@@ -24,24 +27,60 @@ REPO = Path(__file__).resolve().parents[1]
 # The target group stops at the first ')' or whitespace, which is
 # sufficient for the plain paths used here (no nested parentheses).
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+_slug_strip = re.compile(r"[^\w\s-]")
 
 
-def dead_links(path: Path) -> list:
-    """Return (target, resolved) pairs in *path* that do not exist."""
+def heading_slug(text: str) -> str:
+    """GitHub's anchor slug for a heading: strip markup and punctuation,
+    lowercase, spaces to hyphens."""
+    # Drop inline-code backticks and emphasis markers before slugging.
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = _slug_strip.sub("", text.strip().lower())
+    return re.sub(r"\s+", "-", text)
+
+
+def document_anchors(path: Path, cache: dict) -> set:
+    """The set of heading anchors available in *path* (cached)."""
+    if path not in cache:
+        try:
+            source = path.read_text()
+        except OSError:
+            cache[path] = set()
+        else:
+            cache[path] = {
+                heading_slug(match.group(1))
+                for match in HEADING.finditer(source)
+            }
+    return cache[path]
+
+
+def dead_links(path: Path, anchor_cache: dict) -> list:
+    """Return (target, problem) pairs in *path* that do not resolve."""
     missing = []
     for match in LINK.finditer(path.read_text()):
         target = match.group(1)
         if target.startswith(SKIP_PREFIXES):
             continue
-        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part else path
         if not resolved.exists():
-            missing.append((target, resolved))
+            missing.append((target, f"missing file {resolved}"))
+            continue
+        if fragment and resolved.suffix == ".md":
+            anchors = document_anchors(resolved, anchor_cache)
+            if fragment.lower() not in anchors:
+                missing.append(
+                    (target, f"no heading #{fragment} in {resolved.name}")
+                )
     return missing
 
 
 def main() -> int:
     documents = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    anchor_cache: dict = {}
     checked = 0
     broken = 0
     for document in documents:
@@ -50,16 +89,17 @@ def main() -> int:
             broken += 1
             continue
         checked += 1
-        for target, resolved in dead_links(document):
+        for target, problem in dead_links(document, anchor_cache):
             relative = document.relative_to(REPO)
-            print(f"DEAD LINK: {relative}: ({target}) -> {resolved}",
+            print(f"DEAD LINK: {relative}: ({target}) -> {problem}",
                   file=sys.stderr)
             broken += 1
     if broken:
         print(f"{broken} dead link(s) across {checked} document(s)",
               file=sys.stderr)
         return 1
-    print(f"all relative links resolve across {checked} document(s)")
+    print(f"all relative links and anchors resolve across "
+          f"{checked} document(s)")
     return 0
 
 
