@@ -70,12 +70,16 @@ from repro.simulation import (
 )
 from repro.topology import (
     PAPER_TOPOLOGY_IDS,
+    SCALABLE_FAMILIES,
     PoI,
     Topology,
+    city_grid_topology,
     grid_topology,
     line_topology,
     paper_topology,
     random_topology,
+    ring_of_grids_topology,
+    scalable_topology,
 )
 from repro.baselines import (
     max_entropy_matrix,
@@ -136,7 +140,11 @@ __all__ = [
     "line_topology",
     "paper_topology",
     "random_topology",
+    "city_grid_topology",
+    "ring_of_grids_topology",
+    "scalable_topology",
     "PAPER_TOPOLOGY_IDS",
+    "SCALABLE_FAMILIES",
     # simulation
     "SimulationOptions",
     "SimulationResult",

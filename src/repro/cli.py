@@ -29,14 +29,19 @@ from repro import persist
 from repro.analysis.pareto import pareto_filter, tradeoff_curve
 from repro.exec import BACKENDS, using_executor
 from repro.core.api import OPTIMIZER_REGISTRY, optimize
-from repro.core.cost import CostWeights, CoverageCost
+from repro.core.cost import LINALG_MODES, CostWeights, CoverageCost
 from repro.simulation.engine import (
     ENGINES,
     SimulationOptions,
     simulate_schedule,
 )
 from repro.topology.grid import grid_topology, line_topology
-from repro.topology.library import PAPER_TOPOLOGY_IDS, paper_topology
+from repro.topology.library import (
+    PAPER_TOPOLOGY_IDS,
+    SCALABLE_FAMILIES,
+    paper_topology,
+    scalable_topology,
+)
 from repro.topology.random_gen import random_topology
 
 #: Experiment names accepted by ``repro experiment``.
@@ -122,17 +127,29 @@ def _cmd_topology(args) -> int:
         topology = line_topology(args.line)
     elif args.random:
         topology = random_topology(args.random, seed=args.seed)
+    elif args.family:
+        if args.size is None:
+            raise SystemExit("--family requires --size M")
+        topology = scalable_topology(
+            args.family, args.size, seed=args.seed
+        )
     else:
         raise SystemExit(
-            "provide one of --paper, --grid, --line, --random"
+            "provide one of --paper, --grid, --line, --random, --family"
         )
     np.set_printoptions(precision=4, suppress=True)
     print(f"{topology.name}: {topology.size} PoIs")
     print(f"  target shares: {topology.target_shares}")
     print(f"  sensing radius: {topology.sensing_radius} m, "
           f"speed: {topology.speed} m/s")
-    print("  travel times T_jk (s):")
-    print(topology.travel_times)
+    adjacency = topology.adjacency
+    if adjacency is not None:
+        legs = int(adjacency.sum() - topology.size)
+        print(f"  sparse support: {legs} feasible off-diagonal legs "
+              f"of {topology.size * (topology.size - 1)}")
+    if topology.size <= 16:
+        print("  travel times T_jk (s):")
+        print(topology.travel_times)
     if args.save:
         persist.save_topology(topology, args.save)
         print(f"saved to {args.save}")
@@ -149,7 +166,7 @@ def _cmd_optimize(args) -> int:
         energy_target=args.energy_target,
         entropy_weight=args.entropy_weight,
     )
-    cost = CoverageCost(topology, weights)
+    cost = CoverageCost(topology, weights, linalg=args.linalg)
     method = args.method
     spec = OPTIMIZER_REGISTRY[method]
     options = {"max_iterations": args.iterations}
@@ -298,6 +315,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_topo.add_argument("--line", type=int, metavar="COUNT")
     p_topo.add_argument("--random", type=int, metavar="COUNT")
+    p_topo.add_argument(
+        "--family", choices=SCALABLE_FAMILIES,
+        help="scalable sparse-support family (use with --size)",
+    )
+    p_topo.add_argument(
+        "--size", type=int, metavar="M",
+        help="PoI count for --family topologies",
+    )
     p_topo.add_argument("--seed", type=int, default=0)
     p_topo.add_argument("--save", help="write topology JSON here")
     p_topo.set_defaults(handler=_cmd_topology)
@@ -324,6 +349,15 @@ def build_parser() -> argparse.ArgumentParser:
             "how --method multistart runs its starts: 'serial', "
             "'lockstep' (fused line searches), or an execution backend "
             "name"
+        ),
+    )
+    p_opt.add_argument(
+        "--linalg", choices=LINALG_MODES, default="auto",
+        help=(
+            "linear-algebra backend: 'dense' (paper-exact reference), "
+            "'sparse' (large sparse-support topologies), or 'auto' "
+            "(sparse when the topology has an adjacency mask and is "
+            "large enough; default)"
         ),
     )
     p_opt.add_argument("--iterations", type=int, default=400)

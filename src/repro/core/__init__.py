@@ -16,11 +16,13 @@ The pieces map one-to-one onto the paper's sections:
 
 from repro.core.state import ChainState
 from repro.core.cost import (
+    LINALG_MODES,
     CostBreakdown,
     CostWeights,
     CoverageCost,
     MultiRayBatch,
     RayBatch,
+    resolve_linalg,
 )
 from repro.core.options import (
     OptimizerOptions,
@@ -53,6 +55,8 @@ __all__ = [
     "CoverageCost",
     "RayBatch",
     "MultiRayBatch",
+    "LINALG_MODES",
+    "resolve_linalg",
     "OptimizerOptions",
     "SearchOptions",
     "coerce_options",

@@ -21,7 +21,6 @@ from repro.core.initializers import paper_random_matrix
 from repro.core.linesearch import feasible_step_bound, trisection_search
 from repro.core.options import SearchOptions
 from repro.core.result import IterationRecord, OptimizationResult
-from repro.core.state import ChainState
 from repro.utils import perf
 from repro.utils.rng import RandomState
 
@@ -55,10 +54,11 @@ def optimize_adaptive(
     started = time.perf_counter()
     with perf.perf_scope() as counters:
         matrix = (
-            paper_random_matrix(cost.size, seed=seed) if initial is None
+            paper_random_matrix(cost.size, seed=seed, support=cost.support)
+            if initial is None
             else np.array(initial, dtype=float)
         )
-        state = ChainState.from_matrix(matrix)
+        state = cost.build_state(matrix)
         breakdown = cost.evaluate(state)
         history = []
         checkpoints = []
@@ -94,7 +94,7 @@ def optimize_adaptive(
                 if options.reuse_linesearch_state else None
             )
             if next_state is None:
-                next_state = ChainState.from_matrix(
+                next_state = cost.build_state(
                     state.p + search.step * direction, check=False
                 )
             state = next_state

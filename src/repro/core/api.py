@@ -111,6 +111,7 @@ def optimize(
     seed=None,
     options=None,
     execution=None,
+    linalg: Optional[str] = None,
     **kwargs,
 ):
     """Run the optimizer variant named ``method`` on ``cost``.
@@ -136,6 +137,11 @@ def optimize(
         ``"multistart"`` only: ``"serial"``, ``"lockstep"``, a
         :mod:`repro.exec` backend name, or an
         :class:`~repro.exec.executor.Executor` instance.
+    linalg:
+        ``"dense"``, ``"sparse"``, or ``"auto"`` — override the cost's
+        linear-algebra backend for this run via
+        :meth:`CoverageCost.with_linalg`.  ``None`` (default) keeps the
+        cost's own setting.
     **kwargs:
         Method-specific keywords (e.g. ``random_starts`` for
         ``"multistart"``); anything the method does not declare raises
@@ -147,6 +153,8 @@ def optimize(
     ``"multistart"``), bit-identical to calling the method's function
     directly.
     """
+    if linalg is not None:
+        cost = cost.with_linalg(linalg)
     try:
         spec = OPTIMIZER_REGISTRY[method]
     except KeyError:

@@ -28,9 +28,54 @@ from repro.core.terms import (
     EntropyTerm,
     ExposureTerm,
     ObjectiveTerm,
+    SupportCoverageTerm,
+)
+from repro.markov.sparse import (
+    HAVE_SPARSE,
+    SparseStationaryTemplate,
+    sparse_stationary,
 )
 from repro.topology.model import Topology
 from repro.utils import perf
+from repro.utils.linalg import project_row_sum_zero
+
+#: Valid ``linalg`` selections.
+LINALG_MODES = ("auto", "dense", "sparse")
+#: ``linalg="auto"`` switches to the sparse path at this many PoIs
+#: (and only for topologies carrying an adjacency mask).
+SPARSE_AUTO_THRESHOLD = 64
+
+
+def resolve_linalg(linalg: str, topology: Topology) -> str:
+    """Resolve a requested ``linalg`` mode to ``"dense"`` or ``"sparse"``.
+
+    ``"auto"`` picks sparse only when it actually pays off *and* keeps
+    the paper-scale reference bit-exact: the topology must carry an
+    adjacency mask (else the core has no sparsity to exploit), scipy
+    must be importable, and the instance must be at least
+    :data:`SPARSE_AUTO_THRESHOLD` PoIs.  An explicit ``"sparse"`` is
+    honored at any size but raises without scipy.
+    """
+    if linalg not in LINALG_MODES:
+        raise ValueError(
+            f"linalg must be one of {LINALG_MODES}, got {linalg!r}"
+        )
+    if linalg == "dense":
+        return "dense"
+    if linalg == "sparse":
+        if not HAVE_SPARSE:
+            raise RuntimeError(
+                "linalg='sparse' requires scipy.sparse; install scipy "
+                "or use linalg='dense'"
+            )
+        return "sparse"
+    if (
+        HAVE_SPARSE
+        and topology.adjacency is not None
+        and topology.size >= SPARSE_AUTO_THRESHOLD
+    ):
+        return "sparse"
+    return "dense"
 
 
 @dataclass(frozen=True)
@@ -81,22 +126,56 @@ class CostBreakdown:
 
 
 class CoverageCost:
-    """Cost function of the coverage-scheduling problem on a topology."""
+    """Cost function of the coverage-scheduling problem on a topology.
 
-    def __init__(self, topology: Topology, weights: CostWeights) -> None:
+    ``linalg`` selects the linear-algebra backend: ``"dense"`` (the
+    bit-exact reference), ``"sparse"`` (large-``M``: sparse core
+    factorizations, no materialized ``Z``, incremental updates across
+    accepted steps), or ``"auto"`` (the default — see
+    :func:`resolve_linalg`; paper-scale dense topologies always resolve
+    dense, so default results are unchanged).
+
+    Independently of ``linalg``, a topology carrying an adjacency mask
+    gets the support-aware term set: the compact ``O(E)`` coverage term
+    instead of the ``O(M^3)`` tensor, a barrier restricted to feasible
+    transitions, and support-preserving gradient projections.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        weights: CostWeights,
+        linalg: str = "auto",
+    ) -> None:
         self.topology = topology
         self.weights = weights
+        self.linalg = linalg
+        self.resolved_linalg = resolve_linalg(linalg, topology)
         size = topology.size
         travel = topology.travel_times
-        passby = topology.passby
-        self._coverage = CoverageDeviationTerm(
-            travel_times=travel,
-            passby=passby,
-            target_shares=topology.target_shares,
-            alpha=weights.alpha,
-        )
+        self._support = topology.adjacency  # None for dense topologies
+        if self._support is not None:
+            self._passby = None
+            self._coverage = SupportCoverageTerm(
+                travel_times=travel,
+                entries=topology.passby_entries(),
+                target_shares=topology.target_shares,
+                alpha=weights.alpha,
+                support=self._support,
+            )
+        else:
+            passby = topology.passby
+            self._passby = passby
+            self._coverage = CoverageDeviationTerm(
+                travel_times=travel,
+                passby=passby,
+                target_shares=topology.target_shares,
+                alpha=weights.alpha,
+            )
         self._exposure = ExposureTerm(beta=weights.beta, size=size)
-        self._penalty = BarrierPenalty(epsilon=weights.epsilon)
+        self._penalty = BarrierPenalty(
+            epsilon=weights.epsilon, support=self._support
+        )
         self._energy: Optional[EnergyTerm] = None
         if weights.energy_weight > 0:
             self._energy = EnergyTerm(
@@ -108,7 +187,8 @@ class CoverageCost:
         if weights.entropy_weight > 0:
             self._entropy = EntropyTerm(weight=weights.entropy_weight)
         self._travel = travel
-        self._passby = passby
+        self._tracker = None  # lazily-built IncrementalCoreTracker
+        self._stationary_template = None  # lazily-built, sparse mode
 
     # ------------------------------------------------------------------ #
     # Term plumbing
@@ -131,9 +211,106 @@ class CoverageCost:
         """Number of PoIs."""
         return self.topology.size
 
+    @property
+    def support(self) -> Optional[np.ndarray]:
+        """Feasible-transition mask, or ``None`` for dense topologies."""
+        return self._support
+
+    def with_linalg(self, linalg: Optional[str]) -> "CoverageCost":
+        """This cost with another ``linalg`` selection (same topology).
+
+        ``None`` or the current selection return ``self`` unchanged, so
+        facade-level threading never perturbs an already-configured
+        cost.
+        """
+        if linalg is None or linalg == self.linalg:
+            return self
+        return CoverageCost(self.topology, self.weights, linalg=linalg)
+
+    def project(self, matrix: np.ndarray) -> np.ndarray:
+        """Eq. 11 projection, support-restricted when a mask is present."""
+        return project_row_sum_zero(matrix, self._support)
+
+    def _get_tracker(self):
+        """The cost's incremental ``(pi, Z)``-solve tracker (sparse mode)."""
+        if self._tracker is None:
+            from repro.markov.incremental import IncrementalCoreTracker
+
+            self._tracker = IncrementalCoreTracker(
+                stationary_solver=self._get_stationary_template(),
+            )
+        return self._tracker
+
+    def _get_stationary_template(self):
+        """Pre-indexed stationary system for the support pattern.
+
+        Falls back to ``None`` (plain :func:`sparse_stationary`) for
+        support-free costs running ``linalg="sparse"`` explicitly.
+        """
+        if self._stationary_template is None and self._support is not None:
+            self._stationary_template = SparseStationaryTemplate(
+                self._support
+            )
+        return self._stationary_template
+
+    def build_state(self, matrix: np.ndarray, check: bool = True) -> ChainState:
+        """Build the :class:`ChainState` for ``matrix`` under this cost.
+
+        The dense path is exactly :meth:`ChainState.from_matrix`; the
+        sparse path routes through the cost's
+        :class:`~repro.markov.incremental.IncrementalCoreTracker`, so
+        nearby iterates (accepted descent steps) share and update one
+        factorization.  With a support mask, probability on infeasible
+        legs is rejected up front — it would silently bypass the
+        support-restricted barrier and coverage terms otherwise.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if check and self._support is not None and np.any(
+            matrix[~self._support] != 0.0
+        ):
+            raise ValueError(
+                "matrix places probability on legs outside the "
+                "topology's adjacency support"
+            )
+        if self.resolved_linalg == "sparse":
+            return ChainState.from_matrix(
+                matrix,
+                check=check,
+                linalg="sparse",
+                solver_provider=self._get_tracker(),
+            )
+        return ChainState.from_matrix(matrix, check=check)
+
+    def state_from_parts(self, p: np.ndarray, pi: np.ndarray,
+                         z: Optional[np.ndarray]) -> ChainState:
+        """Assemble a probe's state from batch-evaluated parts.
+
+        Dense parts carry their ``Z``; sparse parts (``z=None``) get a
+        core solver from the incremental tracker — one low-rank update
+        when the probe is near the tracker's base, so gradients at
+        accepted steps reuse the line search's factorization work.
+        """
+        if z is not None:
+            return ChainState.from_parts(p, pi, z)
+        _, solver = self._get_tracker().acquire(p, pi)
+        return ChainState.from_parts(
+            p, pi, linalg="sparse", solver=solver
+        )
+
     def state(self, matrix: np.ndarray) -> ChainState:
         """Build the :class:`ChainState` for ``matrix``."""
-        return ChainState.from_matrix(matrix)
+        return self.build_state(matrix)
+
+    def __getstate__(self):
+        """Drop the tracker for pickling: ``splu`` objects don't travel.
+
+        Worker processes (the process execution backend) rebuild their
+        own tracker lazily on first sparse state build.
+        """
+        state = self.__dict__.copy()
+        state["_tracker"] = None
+        state["_stationary_template"] = None  # cheap lazy rebuild
+        return state
 
     # ------------------------------------------------------------------ #
     # Values
@@ -179,9 +356,9 @@ class CoverageCost:
         return total_derivative(state, self.terms)
 
     def projected_gradient(self, matrix_or_state) -> np.ndarray:
-        """``Pi [D_P U_eps]`` (Eq. 11)."""
+        """``Pi [D_P U_eps]`` (Eq. 11), support-restricted when masked."""
         state = self._as_state(matrix_or_state)
-        return projected_gradient(state, self.terms)
+        return projected_gradient(state, self.terms, self._support)
 
     def descent_direction(self, matrix_or_state) -> np.ndarray:
         """``V = -Pi [D_P U_eps]`` — step 3 of the computational algorithm."""
@@ -195,8 +372,17 @@ class CoverageCost:
         """Long-run coverage shares ``C-bar_i`` (Eq. 2)."""
         state = self._as_state(matrix_or_state)
         weighted = state.pi[:, None] * state.p
-        covered = np.einsum("jk,jki->i", weighted, self._passby)
         total = float(np.sum(weighted * self._travel))
+        if self._passby is None:
+            # Compact entry-list contraction (support topologies).
+            term = self._coverage
+            covered = np.bincount(
+                term._i,
+                weights=weighted[term._j, term._k] * term._t_val,
+                minlength=self.size,
+            )
+        else:
+            covered = np.einsum("jk,jki->i", weighted, self._passby)
         return covered / total
 
     def exposure_times(self, matrix_or_state) -> np.ndarray:
@@ -243,6 +429,12 @@ class CoverageCost:
         ``pis[i]``/``zs[i]`` are only meaningful where ``ok[i]`` — the
         line search uses them to hand its winning probe's state back to
         the optimizer without refactorizing (see :class:`RayBatch`).
+
+        On the sparse path ``zs`` is ``None``: no fundamental matrix is
+        ever materialized — stationary distributions come from per-probe
+        sparse factorizations and the exposure term uses its closed
+        form, so a whole line-search stage costs ``O(k (nnz + M^2))``
+        instead of ``O(k M^3)``.
         """
         stack = np.asarray(stack, dtype=float)
         if stack.ndim != 3 or stack.shape[1:] != (self.size, self.size):
@@ -254,10 +446,13 @@ class CoverageCost:
         values = np.full(k, np.inf)
         if k == 0:
             empty = np.zeros((0, size))
-            return values, empty, np.zeros((0, size, size)), \
-                np.zeros(0, dtype=bool)
+            zs = None if self.resolved_linalg == "sparse" \
+                else np.zeros((0, size, size))
+            return values, empty, zs, np.zeros(0, dtype=bool)
         perf.count("batch_calls")
         perf.count("batch_matrices", k)
+        if self.resolved_linalg == "sparse":
+            return self._batch_evaluate_sparse(stack, values)
         eye = np.eye(size)
 
         with np.errstate(all="ignore"):
@@ -299,15 +494,24 @@ class CoverageCost:
             # log of a negative number.
             ok &= (stack >= 0.0).all(axis=(1, 2))
             ok &= (stack <= 1.0).all(axis=(1, 2))
+            if self._support is not None:
+                ok &= (stack[:, ~self._support] == 0.0).all(axis=1)
             if not ok.any():
                 return values, pis, zs, ok
 
             # Coverage deviation term.
-            weighted = pis[:, :, None] * stack
-            c = np.einsum("kjl,ijl->ki", weighted, self._coverage._b)
-            coverage = 0.5 * np.einsum(
-                "i,ki,ki->k", self._coverage.alpha, c, c
-            )
+            if self._passby is None:
+                coverage = self._coverage.batch_deviation_values(
+                    pis, stack
+                )
+            else:
+                weighted = pis[:, :, None] * stack
+                c = np.einsum(
+                    "kjl,ijl->ki", weighted, self._coverage._b
+                )
+                coverage = 0.5 * np.einsum(
+                    "i,ki,ki->k", self._coverage.alpha, c, c
+                )
 
             # Exposure term.
             z_diag = np.einsum("kii->ki", zs)
@@ -319,37 +523,145 @@ class CoverageCost:
             exposure = 0.5 * np.einsum("i,ki,ki->k", self._exposure.beta,
                                        e, e)
 
-            # Barrier penalty, only where entries enter the bands.
-            eps = self.weights.epsilon
-            penalty = np.zeros(k)
-            in_band = (stack <= eps) | (stack >= 1.0 - eps)
-            # Only feasible rows reach the penalty (infeasible ones are
-            # already +inf, and entries outside [0, 1] would make
-            # ``elementwise_value`` raise).
-            rows_with_band = in_band.any(axis=(1, 2)) & ok
-            for index in np.nonzero(rows_with_band)[0]:
-                penalty[index] = float(
-                    self._penalty.elementwise_value(stack[index]).sum()
-                )
-
-            total = coverage + exposure + penalty
-            if self._energy is not None:
-                travel = np.einsum(
-                    "ki,kij,ij->k", pis, stack, self._energy.distances
-                )
-                gap = travel - self._energy.target
-                total = total + 0.5 * self._energy.weight * gap * gap
-            if self._entropy is not None:
-                plogp = np.where(
-                    stack > 0.0, stack * np.log(stack), 0.0
-                ).sum(axis=2)
-                total = total - self._entropy.weight * (
-                    -np.einsum("ki,ki->k", pis, plogp)
-                )
+            total = coverage + exposure + self._batch_penalties(stack, ok)
+            total = self._batch_extensions(pis, stack, total)
 
         values[ok] = total[ok]
         values[~np.isfinite(values)] = np.inf
         return values, pis, zs, ok
+
+    def _batch_penalties(
+        self, stack: np.ndarray, ok: np.ndarray, entries=None
+    ):
+        """Per-probe barrier values, restricted to supported entries.
+
+        ``entries`` may carry pre-gathered ``stack[:, support]`` values
+        from a caller that already paid for the gather.
+        """
+        eps = self.weights.epsilon
+        penalty = np.zeros(stack.shape[0])
+        if self._support is not None:
+            if entries is None:
+                entries = stack[:, self._support]  # (k, #supported)
+            in_band = (entries <= eps) | (entries >= 1.0 - eps)
+            rows_with_band = in_band.any(axis=1) & ok
+            for index in np.nonzero(rows_with_band)[0]:
+                penalty[index] = float(
+                    self._penalty.elementwise_value(
+                        entries[index]
+                    ).sum()
+                )
+            return penalty
+        in_band = (stack <= eps) | (stack >= 1.0 - eps)
+        # Only feasible rows reach the penalty (infeasible ones are
+        # already +inf, and entries outside [0, 1] would make
+        # ``elementwise_value`` raise).
+        rows_with_band = in_band.any(axis=(1, 2)) & ok
+        for index in np.nonzero(rows_with_band)[0]:
+            penalty[index] = float(
+                self._penalty.elementwise_value(stack[index]).sum()
+            )
+        return penalty
+
+    def _batch_extensions(
+        self, pis: np.ndarray, stack: np.ndarray, total: np.ndarray
+    ):
+        """Add the energy + entropy extension terms onto ``total``.
+
+        Takes and returns the running total (rather than a standalone
+        extension sum) so the accumulation order — and therefore the
+        bit pattern of dense-path values — matches the historical
+        inline code exactly.
+        """
+        if self._energy is not None:
+            travel = np.einsum(
+                "ki,kij,ij->k", pis, stack, self._energy.distances
+            )
+            gap = travel - self._energy.target
+            total = total + 0.5 * self._energy.weight * gap * gap
+        if self._entropy is not None:
+            plogp = np.where(
+                stack > 0.0, stack * np.log(stack), 0.0
+            ).sum(axis=2)
+            total = total - self._entropy.weight * (
+                -np.einsum("ki,ki->k", pis, plogp)
+            )
+        return total
+
+    def _batch_evaluate_sparse(self, stack: np.ndarray, values: np.ndarray):
+        """Sparse-path batch evaluation: per-probe sparse stationary
+        solves, closed-form exposure, no ``Z`` anywhere.
+
+        Returns ``(values, pis, None, ok)``.
+        """
+        k, size = stack.shape[0], self.size
+        pis = np.full((k, size), np.nan)
+        diag = np.einsum("kii->ki", stack)
+        sup_vals = None
+        if self._support is not None:
+            # Check only the gathered support entries for the [0, 1] box
+            # (off-support entries must be exactly zero, which the
+            # nonzero-count comparison enforces in one full pass) —
+            # full-stack boolean scans are the batch path's memory
+            # bottleneck at large M.
+            sup_vals = stack[:, self._support]  # (k, #supported)
+            feasible = (
+                (sup_vals >= 0.0).all(axis=1)
+                & (sup_vals <= 1.0).all(axis=1)
+                & (diag < 1.0 - 1e-13).all(axis=1)
+                & (
+                    np.count_nonzero(stack.reshape(k, -1), axis=1)
+                    == np.count_nonzero(sup_vals, axis=1)
+                )
+            )
+        else:
+            feasible = (
+                (stack >= 0.0).all(axis=(1, 2))
+                & (stack <= 1.0).all(axis=(1, 2))
+                & (diag < 1.0 - 1e-13).all(axis=1)
+            )
+        ok = np.zeros(k, dtype=bool)
+        template = self._get_stationary_template()
+        if template is None:
+            solved = {}
+            for index in np.nonzero(feasible)[0]:
+                try:
+                    solved[index] = sparse_stationary(stack[index])
+                except (ValueError, RuntimeError):
+                    continue  # singular / non-ergodic probe: stays +inf
+        else:
+            solved = template.solve_batch(stack, np.nonzero(feasible)[0])
+        for index, pi in solved.items():
+            if np.all(np.isfinite(pi)) and pi.min() > 0.0:
+                pis[index] = pi
+                ok[index] = True
+        if not ok.any():
+            return values, pis, None, ok
+        with np.errstate(all="ignore"):
+            if self._passby is None:
+                coverage = self._coverage.batch_deviation_values(
+                    pis, stack
+                )
+            else:
+                weighted = pis[:, :, None] * stack
+                c = np.einsum(
+                    "kjl,ijl->ki", weighted, self._coverage._b
+                )
+                coverage = 0.5 * np.einsum(
+                    "i,ki,ki->k", self._coverage.alpha, c, c
+                )
+            # Exposure via the closed form E_i = (1-pi_i)/(pi_i(1-p_ii)).
+            e = (1.0 - pis) / (pis * (1.0 - diag))
+            exposure = 0.5 * np.einsum(
+                "i,ki,ki->k", self._exposure.beta, e, e
+            )
+            total = coverage + exposure + self._batch_penalties(
+                stack, ok, entries=sup_vals
+            )
+            total = self._batch_extensions(pis, stack, total)
+        values[ok] = total[ok]
+        values[~np.isfinite(values)] = np.inf
+        return values, pis, None, ok
 
     def ray_batch(self, matrix: np.ndarray, direction: np.ndarray):
         """Return the batched ray objective ``steps -> U_eps`` values.
@@ -378,7 +690,7 @@ class CoverageCost:
     def _as_state(self, matrix_or_state) -> ChainState:
         if isinstance(matrix_or_state, ChainState):
             return matrix_or_state
-        return ChainState.from_matrix(np.asarray(matrix_or_state, float))
+        return self.build_state(np.asarray(matrix_or_state, float))
 
 
 class RayBatch:
@@ -435,7 +747,11 @@ class RayBatch:
             if masked[index] < self._best_value:
                 self._best_step = float(steps[index])
                 self._best_value = float(masked[index])
-                self._best_parts = (stack[index], pis[index], zs[index])
+                self._best_parts = (
+                    stack[index],
+                    pis[index],
+                    None if zs is None else zs[index],
+                )
         return values
 
     def state_at(self, step: float):
@@ -448,7 +764,7 @@ class RayBatch:
         if self._best_parts is None or self._best_step != float(step):
             return None
         p, pi, z = self._best_parts
-        return ChainState.from_parts(p, pi, z)
+        return self._cost.state_from_parts(p, pi, z)
 
     def probe_state(self, step: float):
         """Evaluate one extra step; return ``(value, state_or_None)``.
@@ -463,7 +779,9 @@ class RayBatch:
         values, pis, zs, ok = self._cost.batch_evaluate(stack)
         if not ok[0] or not np.isfinite(values[0]):
             return float(values[0]), None
-        state = ChainState.from_parts(stack[0], pis[0], zs[0])
+        state = self._cost.state_from_parts(
+            stack[0], pis[0], None if zs is None else zs[0]
+        )
         return float(values[0]), state
 
 
@@ -537,7 +855,8 @@ class MultiRayBatch:
         for index, steps, lo, hi in parts:
             out[index] = self.rays[index]._observe(
                 steps, stack[lo:hi], values[lo:hi],
-                pis[lo:hi], zs[lo:hi], ok[lo:hi],
+                pis[lo:hi], None if zs is None else zs[lo:hi],
+                ok[lo:hi],
             )
         return out
 
@@ -563,8 +882,8 @@ class MultiRayBatch:
             if not ok[lo] or not np.isfinite(values[lo]):
                 out[index] = (float(values[lo]), None)
             else:
-                state = ChainState.from_parts(
-                    stack[lo], pis[lo], zs[lo]
+                state = self._cost.state_from_parts(
+                    stack[lo], pis[lo], None if zs is None else zs[lo]
                 )
                 out[index] = (float(values[lo]), state)
         return out

@@ -28,7 +28,6 @@ from repro.core.initializers import uniform_matrix
 from repro.core.linesearch import feasible_step_bound
 from repro.core.options import OptimizerOptions
 from repro.core.result import IterationRecord, OptimizationResult
-from repro.core.state import ChainState
 
 
 @dataclass(frozen=True)
@@ -68,10 +67,10 @@ def optimize_basic(
     """
     options = options or BasicDescentOptions()
     matrix = (
-        uniform_matrix(cost.size) if initial is None
+        uniform_matrix(cost.size, support=cost.support) if initial is None
         else np.array(initial, dtype=float)
     )
-    state = ChainState.from_matrix(matrix)
+    state = cost.build_state(matrix)
     breakdown = cost.evaluate(state)
     history = []
     checkpoints = []
@@ -101,9 +100,9 @@ def optimize_basic(
         for _ in range(60):
             try:
                 candidate = state.p + step * direction
-                new_state = ChainState.from_matrix(candidate, check=False)
+                new_state = cost.build_state(candidate, check=False)
                 break
-            except (ValueError, np.linalg.LinAlgError):
+            except (ValueError, np.linalg.LinAlgError, RuntimeError):
                 step *= 0.5
         if new_state is None:
             stop_reason = "step_collapse"

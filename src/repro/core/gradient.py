@@ -50,14 +50,26 @@ def accumulate_partials(state: ChainState, terms: Iterable[ObjectiveTerm]):
 def total_derivative(
     state: ChainState, terms: Iterable[ObjectiveTerm]
 ) -> np.ndarray:
-    """The unprojected total derivative ``[D_P U]`` at ``state``."""
+    """The unprojected total derivative ``[D_P U]`` at ``state``.
+
+    Sparse states apply the stationary adjoint ``pi_k (Z dU/dpi)_l``
+    through one targeted core solve instead of the dense ``Z`` product
+    (the dense path keeps its explicit ``z @`` for bit-reproducibility).
+    The ``Z``-adjoint still requires the full matrix; sparse-mode terms
+    therefore fold their ``Z``-dependence into ``grad_pi``/``grad_p``
+    and return ``grad_z=None``, and any term that does not triggers a
+    one-time dense materialization.
+    """
     grad_pi, grad_z, grad_p = accumulate_partials(state, terms)
     result = np.zeros_like(state.p)
     if grad_pi is not None:
-        result += adjoint_stationary_term(state.pi, state.z, grad_pi)
+        if state.linalg == "sparse":
+            result += np.outer(state.pi, state.solve_core(grad_pi))
+        else:
+            result += adjoint_stationary_term(state.pi, state.z, grad_pi)
     if grad_z is not None:
         result += adjoint_fundamental_term(
-            state.pi, state.z, grad_z, z2=state.z2
+            state.pi, state.dense_z(), grad_z, z2=state.z2
         )
     if grad_p is not None:
         result += grad_p
@@ -65,10 +77,16 @@ def total_derivative(
 
 
 def projected_gradient(
-    state: ChainState, terms: Iterable[ObjectiveTerm]
+    state: ChainState,
+    terms: Iterable[ObjectiveTerm],
+    support: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """``Pi [D_P U]`` — the gradient within the stochastic-matrix manifold."""
-    return project_row_sum_zero(total_derivative(state, terms))
+    """``Pi [D_P U]`` — the gradient within the stochastic-matrix manifold.
+
+    A boolean ``support`` mask additionally restricts the projection to
+    directions vanishing off the feasible-transition pattern.
+    """
+    return project_row_sum_zero(total_derivative(state, terms), support)
 
 
 def directional_derivative(

@@ -1,4 +1,12 @@
-"""Initial transition matrices for the descent variants V1 and V2."""
+"""Initial transition matrices for the descent variants V1 and V2.
+
+Every initializer accepts an optional boolean ``support`` mask (sparse
+topologies restrict feasible transitions to an adjacency pattern): the
+unrestricted matrix is built exactly as before — same RNG draw count and
+order, so seeded runs stay reproducible — then masked to the support and
+row-renormalized.  ``support=None`` is bit-identical to the historical
+behavior.
+"""
 
 from __future__ import annotations
 
@@ -7,18 +15,39 @@ import numpy as np
 from repro.utils.rng import RandomState, as_generator, paper_random_row
 
 
-def uniform_matrix(size: int) -> np.ndarray:
+def _apply_support(matrix: np.ndarray, support) -> np.ndarray:
+    """Mask ``matrix`` to a feasible-transition pattern and renormalize."""
+    if support is None:
+        return matrix
+    support = np.asarray(support, dtype=bool)
+    if support.shape != matrix.shape:
+        raise ValueError(
+            f"support shape {support.shape} != matrix shape {matrix.shape}"
+        )
+    masked = np.where(support, matrix, 0.0)
+    sums = masked.sum(axis=1, keepdims=True)
+    if np.any(sums <= 0.0):
+        raise ValueError(
+            "support mask removed all probability from some row"
+        )
+    return masked / sums
+
+
+def uniform_matrix(size: int, support=None) -> np.ndarray:
     """V1's initial matrix: every ``p_ij = 1/M`` (Section V).
 
     The uniform chain is trivially ergodic and lies at the center of the
-    feasible polytope, far from every barrier.
+    feasible polytope, far from every barrier.  With a ``support`` mask
+    the mass spreads uniformly over each row's feasible legs instead.
     """
     if size < 2:
         raise ValueError(f"size must be >= 2, got {size}")
-    return np.full((size, size), 1.0 / size)
+    return _apply_support(np.full((size, size), 1.0 / size), support)
 
 
-def paper_random_matrix(size: int, seed: RandomState = None) -> np.ndarray:
+def paper_random_matrix(
+    size: int, seed: RandomState = None, support=None
+) -> np.ndarray:
     """V2's random initial matrix, row by row (Section V).
 
     Each row uses the paper's recipe: entry ``j < M-1`` takes
@@ -29,11 +58,12 @@ def paper_random_matrix(size: int, seed: RandomState = None) -> np.ndarray:
     if size < 2:
         raise ValueError(f"size must be >= 2, got {size}")
     rng = as_generator(seed)
-    return np.vstack([paper_random_row(size, rng) for _ in range(size)])
+    matrix = np.vstack([paper_random_row(size, rng) for _ in range(size)])
+    return _apply_support(matrix, support)
 
 
 def damped_baseline_matrix(
-    target_shares: np.ndarray, delta: float
+    target_shares: np.ndarray, delta: float, support=None
 ) -> np.ndarray:
     """Interpolation between staying put and the proportional baseline.
 
@@ -59,7 +89,8 @@ def damped_baseline_matrix(
     if not 0.0 < delta <= 1.0:
         raise ValueError(f"delta must lie in (0, 1], got {delta}")
     size = phi.shape[0]
-    return (1.0 - delta) * np.eye(size) + delta * np.tile(phi, (size, 1))
+    matrix = (1.0 - delta) * np.eye(size) + delta * np.tile(phi, (size, 1))
+    return _apply_support(matrix, support)
 
 
 def dirichlet_matrix(

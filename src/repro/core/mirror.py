@@ -104,6 +104,13 @@ def optimize_mirror(
     from repro.core.initializers import uniform_matrix
 
     options = options or MirrorOptions()
+    if cost.support is not None:
+        raise ValueError(
+            "mirror descent parametrizes strictly positive rows via a "
+            "softmax, which cannot represent the zero entries a "
+            "support-restricted (adjacency) topology requires; use the "
+            "projected-descent optimizers instead"
+        )
     _ = as_generator(seed)  # reserved; keeps the optimizer signature
     if initial is None:
         matrix = uniform_matrix(cost.size)

@@ -70,11 +70,15 @@ def default_start_portfolio(
     """Build the default ``(label, matrix)`` start list for ``cost``."""
     rng = as_generator(seed)
     size = cost.size
+    support = cost.support
     phi = cost.topology.target_shares
-    starts = [("uniform", uniform_matrix(size))]
+    starts = [("uniform", uniform_matrix(size, support=support))]
     for index in range(random_starts):
         starts.append(
-            (f"random-{index}", paper_random_matrix(size, seed=rng))
+            (
+                f"random-{index}",
+                paper_random_matrix(size, seed=rng, support=support),
+            )
         )
     if np.all(phi > 0):
         epsilon = cost.weights.epsilon
@@ -83,7 +87,10 @@ def default_start_portfolio(
             if delta * phi.min() <= epsilon:
                 continue
             starts.append(
-                (f"damped-{delta:g}", damped_baseline_matrix(phi, delta))
+                (
+                    f"damped-{delta:g}",
+                    damped_baseline_matrix(phi, delta, support=support),
+                )
             )
     return starts
 

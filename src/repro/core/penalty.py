@@ -24,15 +24,24 @@ from repro.utils.validation import check_positive
 
 
 class BarrierPenalty(ObjectiveTerm):
-    """Eq. (9)'s penalization term with band width ``eps``."""
+    """Eq. (9)'s penalization term with band width ``eps``.
 
-    def __init__(self, epsilon: float = 1e-4) -> None:
+    A boolean ``support`` mask restricts the barrier to feasible
+    transitions: off-support entries are pinned at exactly zero by the
+    support-aware projection, and without the mask their ``-ln(0)``
+    contribution would make every support-restricted iterate infinite.
+    """
+
+    def __init__(self, epsilon: float = 1e-4, support=None) -> None:
         self.epsilon = check_positive("epsilon", epsilon)
         if self.epsilon >= 0.5:
             raise ValueError(
                 f"epsilon must be < 0.5 so the two bands do not overlap, "
                 f"got {self.epsilon}"
             )
+        self.support = None if support is None else np.asarray(
+            support, dtype=bool
+        )
 
     # ------------------------------------------------------------------ #
     # Scalar pieces, vectorized over arrays
@@ -84,7 +93,17 @@ class BarrierPenalty(ObjectiveTerm):
     # ------------------------------------------------------------------ #
 
     def value(self, state: ChainState) -> float:
+        if self.support is not None:
+            return float(
+                self.elementwise_value(state.p[self.support]).sum()
+            )
         return float(self.elementwise_value(state.p).sum())
 
     def grad_p(self, state: ChainState) -> np.ndarray:
+        if self.support is not None:
+            grad = np.zeros_like(state.p)
+            grad[self.support] = self.elementwise_grad(
+                state.p[self.support]
+            )
+            return grad
         return self.elementwise_grad(state.p)

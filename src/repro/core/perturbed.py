@@ -36,9 +36,7 @@ from repro.core.initializers import paper_random_matrix
 from repro.core.linesearch import feasible_step_bound, trisection_search
 from repro.core.options import SearchOptions
 from repro.core.result import IterationRecord, OptimizationResult
-from repro.core.state import ChainState
 from repro.utils import perf
-from repro.utils.linalg import project_row_sum_zero
 from repro.utils.rng import RandomState, as_generator
 
 
@@ -113,9 +111,9 @@ def acquire_candidate(
     ``probe`` optionally supplies an already-evaluated
     ``(value, state_or_None)`` fallback probe (the lockstep driver fuses
     those across trajectories); when omitted, ``ray.probe_state`` is
-    called here.  Falls back to a scratch
-    :meth:`ChainState.from_matrix` build when the probe cannot be
-    recovered.  Returns ``(None, None)`` for infeasible candidates.
+    called here.  Falls back to a scratch :meth:`CoverageCost.build_state`
+    build when the probe cannot be recovered.  Returns ``(None, None)``
+    for infeasible candidates.
     """
     candidate_state = None
     if reuse and ray is not None:
@@ -129,10 +127,10 @@ def acquire_candidate(
                 return None, None
     if candidate_state is None:
         try:
-            candidate_state = ChainState.from_matrix(
+            candidate_state = cost.build_state(
                 base_matrix + step * direction, check=False
             )
-        except (ValueError, np.linalg.LinAlgError):
+        except (ValueError, np.linalg.LinAlgError, RuntimeError):
             return None, None
     try:
         return candidate_state, cost.evaluate(candidate_state)
@@ -190,10 +188,12 @@ class PerturbedWalk:
         self.options = options
         self.rng = as_generator(rng)
         matrix = (
-            paper_random_matrix(cost.size, seed=self.rng)
+            paper_random_matrix(
+                cost.size, seed=self.rng, support=cost.support
+            )
             if initial is None else np.array(initial, dtype=float)
         )
-        self.state = ChainState.from_matrix(matrix)
+        self.state = cost.build_state(matrix)
         self.breakdown = cost.evaluate(self.state)
         self.best_matrix = self.state.p.copy()
         self.best_u_eps = self.breakdown.u_eps
@@ -227,7 +227,7 @@ class PerturbedWalk:
             gradient = gradient + self.rng.normal(
                 0.0, noise_scale, size=gradient.shape
             )
-        self._direction = -project_row_sum_zero(gradient)
+        self._direction = -self.cost.project(gradient)
         self._bound = feasible_step_bound(self.state.p, self._direction)
         return SearchSpec(
             matrix=self.state.p,

@@ -14,11 +14,22 @@ Two hot-path optimizations live here:
 * :meth:`ChainState.from_parts` assembles a state from an already-computed
   ``(pi, Z)`` — the batched line search hands its winning probe back to
   the optimizer this way, so an accepted step costs no new factorization.
+
+Large-``M`` states (``linalg="sparse"``) never materialize ``Z``: the
+``z`` field stays ``None`` and every ``Z @ v`` / ``v^T Z`` product routes
+through targeted solves against a sparse factorization of the core
+(:mod:`repro.markov.sparse`), optionally shared and incrementally updated
+across iterates by an :class:`~repro.markov.incremental.
+IncrementalCoreTracker`.  Small-``M`` reference paths that genuinely need
+the full matrix call :meth:`ChainState.dense_z`, which materializes and
+caches it on demand.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
 import numpy as np
 
 from repro.markov.fundamental import CoreFactorization, factor_core
@@ -40,24 +51,48 @@ class ChainState:
     pi:
         Stationary distribution.
     z:
-        Fundamental matrix ``(I - P + W)^{-1}``.
+        Fundamental matrix ``(I - P + W)^{-1}``, or ``None`` for sparse
+        states (use :meth:`dense_z` if the full matrix is truly needed).
+    linalg:
+        ``"dense"`` (reference path) or ``"sparse"`` (large-``M`` path).
     """
 
     p: np.ndarray
     pi: np.ndarray
-    z: np.ndarray
+    z: Optional[np.ndarray] = None
+    linalg: str = "dense"
     _r_cache: list = field(default_factory=list, repr=False, compare=False)
     _z2_cache: list = field(default_factory=list, repr=False, compare=False)
     _lu_cache: list = field(default_factory=list, repr=False, compare=False)
 
+    def __post_init__(self) -> None:
+        if self.linalg not in ("dense", "sparse"):
+            raise ValueError(
+                f"linalg must be 'dense' or 'sparse', got {self.linalg!r}"
+            )
+        if self.z is None and self.linalg == "dense":
+            raise ValueError("dense states must carry an explicit z")
+
     @classmethod
-    def from_matrix(cls, matrix: np.ndarray, check: bool = True):
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        check: bool = True,
+        linalg: str = "dense",
+        solver_provider=None,
+    ):
         """Build the state for ``matrix``.
 
         ``check=True`` validates stochasticity (cheap); ergodicity is
         implied by a successful stationary solve with positive entries,
         which is verified unconditionally because the downstream exposure
         formulas divide by ``pi``.
+
+        ``linalg="sparse"`` factors the core sparsely and leaves ``z``
+        unmaterialized; ``solver_provider`` (an object with
+        ``acquire(matrix) -> (pi, solver)``, e.g. an
+        :class:`~repro.markov.incremental.IncrementalCoreTracker`) lets
+        the factorization be shared across nearby iterates.
         """
         matrix = check_square("matrix", matrix)
         if check and not is_row_stochastic(matrix):
@@ -65,6 +100,24 @@ class ChainState:
                 "matrix must be row-stochastic; row sums are "
                 f"{np.asarray(matrix).sum(axis=1)}"
             )
+        if linalg == "sparse":
+            if solver_provider is not None:
+                pi, solver = solver_provider.acquire(matrix)
+            else:
+                from repro.markov.sparse import (
+                    sparse_fundamental_and_stationary,
+                )
+
+                solver, pi = sparse_fundamental_and_stationary(matrix)
+            if np.any(pi <= 0):
+                raise ValueError(
+                    "stationary distribution has non-positive entries "
+                    f"(min {pi.min():.3g}); the chain is not ergodic"
+                )
+            perf.count("state_builds")
+            state = cls(p=matrix, pi=pi, z=None, linalg="sparse")
+            state._lu_cache.append(solver)
+            return state
         pi = stationary_via_linear_solve(matrix)
         if np.any(pi <= 0):
             raise ValueError(
@@ -72,7 +125,7 @@ class ChainState:
                 f"(min {pi.min():.3g}); the chain is not ergodic"
             )
         factors = factor_core(matrix, pi)
-        z = factors.inverse()
+        z = factors.full_inverse()
         # One stationary solve plus one core LU: the only dense
         # decompositions a state build performs.
         perf.count("factorizations", 2)
@@ -82,7 +135,14 @@ class ChainState:
         return state
 
     @classmethod
-    def from_parts(cls, p: np.ndarray, pi: np.ndarray, z: np.ndarray):
+    def from_parts(
+        cls,
+        p: np.ndarray,
+        pi: np.ndarray,
+        z: Optional[np.ndarray] = None,
+        linalg: str = "dense",
+        solver=None,
+    ):
         """Assemble a state from already-computed ``(pi, Z)``.
 
         Used to hand the line search's winning probe back to the
@@ -92,14 +152,24 @@ class ChainState:
         from the scalar path and perturb otherwise bit-identical
         trajectories.  ``p``/``pi``/``z`` are trusted (callers own
         their consistency).
+
+        Sparse probes carry no ``z``; pass ``linalg="sparse"`` and
+        optionally an already-built core ``solver`` (else one is
+        factored lazily on first :meth:`solve_core`).
         """
         p = check_square("p", p)
         pi = np.asarray(pi, dtype=float)
-        z = check_square("z", z)
-        if pi.shape != (p.shape[0],) or z.shape != p.shape:
+        if z is None and linalg != "sparse":
+            raise ValueError("z may be omitted only with linalg='sparse'")
+        if z is not None:
+            z = check_square("z", z)
+            if z.shape != p.shape:
+                raise ValueError(
+                    f"inconsistent shapes: p {p.shape}, z {z.shape}"
+                )
+        if pi.shape != (p.shape[0],):
             raise ValueError(
-                f"inconsistent shapes: p {p.shape}, pi {pi.shape}, "
-                f"z {z.shape}"
+                f"inconsistent shapes: p {p.shape}, pi {pi.shape}"
             )
         if np.any(pi <= 0):
             raise ValueError(
@@ -111,23 +181,40 @@ class ChainState:
         # BLAS/einsum kernels pick SIMD paths by memory alignment, and a
         # misaligned view can yield ulp-different gradients than the
         # bitwise-equal freshly allocated arrays of ``from_matrix``.
-        return cls(
+        state = cls(
             p=np.array(p, dtype=float),
             pi=np.array(pi, dtype=float),
-            z=np.array(z, dtype=float),
+            z=None if z is None else np.array(z, dtype=float),
+            linalg=linalg,
         )
+        if solver is not None:
+            state._lu_cache.append(solver)
+        return state
 
     @property
     def size(self) -> int:
         """Number of states."""
         return self.p.shape[0]
 
+    def dense_z(self) -> np.ndarray:
+        """The full fundamental matrix, materialized and cached on demand.
+
+        Dense states return their ``z`` as-is.  Sparse states pay one
+        ``O(M^2)``-memory materialization through the core solver —
+        small-``M`` reference paths only; the large-``M`` pipeline
+        should route through :meth:`solve_core` /
+        :meth:`solve_core_transpose` instead.
+        """
+        if self.z is None:
+            object.__setattr__(self, "z", self._solver().full_inverse())
+        return self.z
+
     @property
     def r(self) -> np.ndarray:
         """First-passage-time matrix (transitions), computed on demand."""
         if not self._r_cache:
             self._r_cache.append(
-                first_passage_times(self.p, self.z, self.pi)
+                first_passage_times(self.p, self.dense_z(), self.pi)
             )
         return self._r_cache[0]
 
@@ -135,21 +222,34 @@ class ChainState:
     def z2(self) -> np.ndarray:
         """``Z @ Z``, cached — the Schweitzer adjoints reuse it."""
         if not self._z2_cache:
-            self._z2_cache.append(self.z @ self.z)
+            z = self.dense_z()
+            self._z2_cache.append(z @ z)
         return self._z2_cache[0]
 
+    def _solver(self):
+        """The state's core solver, factored lazily on first use."""
+        if not self._lu_cache:
+            if self.linalg == "sparse":
+                from repro.markov.sparse import SparseCoreSolver
+
+                self._lu_cache.append(SparseCoreSolver(self.p, self.pi))
+            else:
+                perf.count("factorizations")
+                self._lu_cache.append(factor_core(self.p, self.pi))
+        return self._lu_cache[0]
+
     def solve_core(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``(I - P + W) x = rhs`` reusing the state's LU factors.
+        """Solve ``(I - P + W) x = rhs`` reusing the state's factors.
 
         States assembled via :meth:`from_parts` carry no factors; the
         core is factored lazily on first use (counted as one
         factorization).
         """
-        if not self._lu_cache:
-            perf.count("factorizations")
-            self._lu_cache.append(factor_core(self.p, self.pi))
-        factors: CoreFactorization = self._lu_cache[0]
-        return factors.solve(rhs)
+        return self._solver().solve(rhs)
+
+    def solve_core_transpose(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``(I - P + W)^T x = rhs`` reusing the state's factors."""
+        return self._solver().solve_transpose(rhs)
 
     def exposure_times(self) -> np.ndarray:
         """Per-PoI average exposure times ``E-bar_i`` (Eq. 3).
@@ -157,9 +257,14 @@ class ChainState:
         ``E-bar_i = sum_{j != i} p_ij R_ji / (1 - p_ii)`` in transition
         units, computed via the fundamental matrix so no explicit ``R`` is
         required: ``R_ji = (z_ii - z_ji) / pi_i`` for ``j != i``.
+
+        Sparse states use the closed form instead: summing Eq. 8 against
+        ``Z``'s row-sum identity ``Z 1 = 1`` gives
+        ``sum_{j != i} p_ij pi_i R_ji = 1 - pi_i`` exactly, so
+        ``E-bar_i = (1 - pi_i) / (pi_i (1 - p_ii))`` with no fundamental
+        matrix at all.
         """
-        count = self.size
-        p, pi, z = self.p, self.pi, self.z
+        p, pi = self.p, self.pi
         staying = np.diag(p)
         if np.any(staying >= 1.0 - 1e-13):
             raise ValueError(
@@ -167,6 +272,9 @@ class ChainState:
                 "PoI and its exposure time is undefined (division by "
                 "1 - p_ii)"
             )
+        if self.linalg == "sparse":
+            return (1.0 - pi) / (pi * (1.0 - staying))
+        z = self.z
         z_diag = np.diag(z)
         # weights[i, j] = p_ij * (z_ii - z_ji) for j != i, 0 on diagonal.
         passage_to_i = (z_diag[None, :] - z) / pi[None, :]  # R_ji over (j, i)

@@ -117,6 +117,130 @@ class CoverageDeviationTerm(ObjectiveTerm):
         return state.pi[:, None] * contracted
 
 
+class SupportCoverageTerm(ObjectiveTerm):
+    """Coverage deviation over a sparse leg support — ``O(E)`` memory.
+
+    Mathematically identical to :class:`CoverageDeviationTerm` when
+    ``P`` vanishes off the support, but it never builds the dense
+    ``O(M^3)`` tensor ``B``: the pass-by structure is stored as a flat
+    entry list ``(j, k, i, T_{jk,i})`` over supported legs only, and
+
+        ``c_i = sum_entries pi_j p_jk T_{jk,i} - Phi_i sum_jk pi_j p_jk
+        T_jk``
+
+    is two weighted bincounts plus one dense ``O(M^2)`` contraction.
+    Gradients reuse the same entry list: with
+    ``a_jk = sum_i alpha_i c_i T_{jk,i}`` (a bincount over legs) and
+    ``q = sum_i alpha_i c_i Phi_i``,
+
+        ``dU/dpi_j = sum_k p_jk (a_jk - q T_jk)``,
+        ``dU/dp_jk = pi_j (a_jk - q T_jk)``  (supported legs only).
+    """
+
+    def __init__(
+        self,
+        travel_times: np.ndarray,
+        entries,
+        target_shares: np.ndarray,
+        alpha,
+        support: np.ndarray,
+    ) -> None:
+        travel_times = check_square("travel_times", travel_times)
+        size = travel_times.shape[0]
+        j_idx, k_idx, i_idx, t_val = entries
+        j_idx = np.asarray(j_idx, dtype=np.intp)
+        k_idx = np.asarray(k_idx, dtype=np.intp)
+        i_idx = np.asarray(i_idx, dtype=np.intp)
+        t_val = np.asarray(t_val, dtype=float)
+        if not (j_idx.shape == k_idx.shape == i_idx.shape == t_val.shape):
+            raise ValueError("entry arrays must share one shape")
+        target_shares = np.asarray(target_shares, dtype=float)
+        if target_shares.shape != (size,):
+            raise ValueError(
+                f"target_shares must have shape ({size},), "
+                f"got {target_shares.shape}"
+            )
+        support = np.asarray(support, dtype=bool)
+        if support.shape != (size, size):
+            raise ValueError(
+                f"support must have shape {(size, size)}, "
+                f"got {support.shape}"
+            )
+        self.alpha = broadcast_weights("alpha", alpha, size)
+        self._t = travel_times
+        self._phi = target_shares
+        self._support = support
+        self._j = j_idx
+        self._k = k_idx
+        self._i = i_idx
+        self._t_val = t_val
+        self._flat_leg = j_idx * size + k_idx
+        self._size = size
+        # Gathered support legs for the batched total-travel contraction
+        # (entries off the support contribute nothing).
+        self._sup_j, self._sup_k = np.nonzero(support)
+        self._sup_t = travel_times[self._sup_j, self._sup_k]
+
+    def _deviations(self, pi: np.ndarray, p: np.ndarray) -> np.ndarray:
+        weights = pi[self._j] * p[self._j, self._k] * self._t_val
+        covered = np.bincount(
+            self._i, weights=weights, minlength=self._size
+        )
+        total = float(pi @ (p * self._t).sum(axis=1))
+        return covered - self._phi * total
+
+    def deviations(self, state: ChainState) -> np.ndarray:
+        """The per-PoI deviations ``c_i`` (same contract as the dense term)."""
+        return self._deviations(state.pi, state.p)
+
+    def value(self, state: ChainState) -> float:
+        c = self.deviations(state)
+        return float(0.5 * np.sum(self.alpha * c * c))
+
+    def batch_deviation_values(
+        self, pis: np.ndarray, stack: np.ndarray
+    ) -> np.ndarray:
+        """Per-probe coverage term values for a stacked line search."""
+        # sum_jl pi_j p_jl T_jl over supported legs only: the dense
+        # einsum is an O(n M^2) scan that dominates at large M, while
+        # off-support entries of a valid stack are identically zero.
+        totals = (
+            pis[:, self._sup_j]
+            * stack[:, self._sup_j, self._sup_k]
+            * self._sup_t
+        ).sum(axis=1)
+        values = np.empty(stack.shape[0])
+        for n in range(stack.shape[0]):
+            weights = (
+                pis[n, self._j] * stack[n, self._j, self._k] * self._t_val
+            )
+            covered = np.bincount(
+                self._i, weights=weights, minlength=self._size
+            )
+            c = covered - self._phi * totals[n]
+            values[n] = 0.5 * np.sum(self.alpha * c * c)
+        return values
+
+    def _leg_inner(self, c: np.ndarray) -> np.ndarray:
+        """``a_jk - q T_jk`` as a dense ``(j, k)`` matrix."""
+        weighted = self.alpha * c
+        a_flat = np.bincount(
+            self._flat_leg,
+            weights=weighted[self._i] * self._t_val,
+            minlength=self._size * self._size,
+        )
+        q = float(weighted @ self._phi)
+        return a_flat.reshape(self._size, self._size) - q * self._t
+
+    def grad_pi(self, state: ChainState) -> np.ndarray:
+        inner = self._leg_inner(self.deviations(state))
+        return (state.p * inner).sum(axis=1)
+
+    def grad_p(self, state: ChainState) -> np.ndarray:
+        inner = self._leg_inner(self.deviations(state))
+        return np.where(self._support, state.pi[:, None] * inner, 0.0)
+
+
 class ExposureTerm(ObjectiveTerm):
     """Weighted squared per-PoI average exposure times.
 
@@ -130,12 +254,21 @@ class ExposureTerm(ObjectiveTerm):
 
     @staticmethod
     def _pieces(state: ChainState):
-        """Return ``(e, n, staying)`` with the stability guard applied."""
+        """Return ``(e, n, staying)`` with the stability guard applied.
+
+        Sparse states never touch ``Z``: summing Eq. 8 against the
+        row-sum identity ``Z 1 = 1`` collapses
+        ``n_i = sum_{j != i} p_ij (z_ii - z_ji)`` to exactly
+        ``1 - pi_i``, so ``E-bar_i = (1 - pi_i) / (pi_i (1 - p_ii))``.
+        """
         staying = np.diag(state.p)
         if np.any(staying >= 1.0 - 1e-13):
             raise ValueError(
                 "some p_ii is numerically 1; exposure times are undefined"
             )
+        if state.linalg == "sparse":
+            n = 1.0 - state.pi
+            return n / (state.pi * (1.0 - staying)), n, staying
         z_diag = np.diag(state.z)
         diffs = z_diag[None, :] - state.z  # (j, i): z_ii - z_ji
         weights = state.p * diffs.T  # (i, j): p_ij (z_ii - z_ji)
@@ -153,11 +286,21 @@ class ExposureTerm(ObjectiveTerm):
         return float(0.5 * np.sum(self.beta * e * e))
 
     def grad_pi(self, state: ChainState) -> np.ndarray:
+        if state.linalg == "sparse":
+            # Closed form: the whole pi-dependence of E-bar_i is explicit,
+            # dE_i/dpi_i = -1 / (pi_i^2 (1 - p_ii)); the Z-chain that the
+            # dense split routes through grad_z is already absorbed here,
+            # so grad_z below is identically zero.  The two splits give
+            # the same *projected* total derivative.
+            e, _, staying = self._pieces(state)
+            return -self.beta * e / (state.pi**2 * (1.0 - staying))
         e, _, _ = self._pieces(state)
         # de_i/dpi_i = -e_i / pi_i  (pi enters only through the denominator).
         return -self.beta * e * e / state.pi
 
-    def grad_z(self, state: ChainState) -> np.ndarray:
+    def grad_z(self, state: ChainState) -> Optional[np.ndarray]:
+        if state.linalg == "sparse":
+            return None
         e, _, staying = self._pieces(state)
         denom = state.pi * (1.0 - staying)
         scale = self.beta * e  # beta_i e_i, chain through e_i
@@ -170,6 +313,15 @@ class ExposureTerm(ObjectiveTerm):
         return grad
 
     def grad_p(self, state: ChainState) -> np.ndarray:
+        if state.linalg == "sparse":
+            # dE_i/dp_ii = E_i / (1 - p_ii); all other entries of P reach
+            # E-bar only through pi, which the adjoint handles.
+            e, _, staying = self._pieces(state)
+            grad = np.zeros_like(state.p)
+            grad[np.diag_indices_from(grad)] = (
+                self.beta * e * e / (1.0 - staying)
+            )
+            return grad
         e, _, staying = self._pieces(state)
         denom = state.pi * (1.0 - staying)
         scale = self.beta * e

@@ -20,9 +20,17 @@ from repro.markov.stationary import (
     stationary_via_eigen,
     stationary_via_group_inverse,
     stationary_via_linear_solve,
+    stationary_via_power_iteration,
 )
 from repro.markov.group_inverse import group_inverse
 from repro.markov.fundamental import fundamental_matrix
+from repro.markov.sparse import (
+    HAVE_SPARSE,
+    SparseCoreSolver,
+    sparse_fundamental_and_stationary,
+    sparse_stationary,
+)
+from repro.markov.incremental import IncrementalCoreTracker, WoodburyCoreSolver
 from repro.markov.passage import (
     first_passage_times,
     first_passage_times_by_solve,
@@ -43,8 +51,15 @@ __all__ = [
     "stationary_via_eigen",
     "stationary_via_group_inverse",
     "stationary_via_linear_solve",
+    "stationary_via_power_iteration",
     "group_inverse",
     "fundamental_matrix",
+    "HAVE_SPARSE",
+    "SparseCoreSolver",
+    "sparse_fundamental_and_stationary",
+    "sparse_stationary",
+    "IncrementalCoreTracker",
+    "WoodburyCoreSolver",
     "first_passage_times",
     "first_passage_times_by_solve",
     "stationary_derivative",

@@ -51,8 +51,18 @@ class CoreFactorization:
             return _lu_solve(self._lu, rhs)
         return np.linalg.solve(self._core, rhs)  # pragma: no cover
 
-    def inverse(self) -> np.ndarray:
+    def solve_transpose(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``(I - P + W)^T x = rhs`` using the cached factors."""
+        if self._lu is not None:
+            return _lu_solve(self._lu, rhs, trans=1)
+        return np.linalg.solve(self._core.T, rhs)  # pragma: no cover
+
+    def full_inverse(self) -> np.ndarray:
         """The fundamental matrix ``Z`` — the core's full inverse.
+
+        ``O(M^2)`` memory and ``O(M^3)`` work; the small-``M`` dense
+        reference path.  Callers that only need ``Z @ v`` / ``v^T Z``
+        should use targeted :meth:`solve` / :meth:`solve_transpose`.
 
         Returned C-contiguous: ``lu_solve`` hands back a Fortran-ordered
         array, and BLAS sums in a different order over F- vs C-layout
@@ -65,6 +75,9 @@ class CoreFactorization:
             else self._core.shape[0]
         )
         return np.ascontiguousarray(self.solve(np.eye(size)))
+
+    # Historical name, kept for callers predating the sparse path.
+    inverse = full_inverse
 
 
 def factor_core(matrix: np.ndarray, pi: np.ndarray) -> CoreFactorization:

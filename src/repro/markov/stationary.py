@@ -30,9 +30,56 @@ def stationary_via_linear_solve(matrix: np.ndarray) -> np.ndarray:
     return _sanitize(solution)
 
 
-def stationary_via_eigen(matrix: np.ndarray) -> np.ndarray:
-    """Left Perron eigenvector of ``P`` for eigenvalue 1."""
+#: Above this size ``stationary_via_eigen`` falls back to power iteration
+#: instead of the dense ``O(M^3)`` (and iterative, complex-valued)
+#: ``np.linalg.eig``.
+EIGEN_SIZE_LIMIT = 128
+
+
+def stationary_via_power_iteration(
+    matrix: np.ndarray,
+    tol: float = 1e-14,
+    max_iterations: int = 100_000,
+) -> np.ndarray:
+    """Left Perron vector by repeated ``pi <- pi P``.
+
+    ``O(M^2)`` per sweep (``O(nnz)`` in spirit for sparse chains) with
+    no dense decomposition, so it scales where ``np.linalg.eig`` does
+    not.  Converges at the chain's mixing rate; slowly-mixing chains
+    should prefer the direct linear solve.
+    """
     matrix = check_square("matrix", matrix)
+    count = matrix.shape[0]
+    vector = np.full(count, 1.0 / count)
+    for _ in range(max_iterations):
+        updated = vector @ matrix
+        total = updated.sum()
+        if total <= 0 or not np.isfinite(total):
+            raise ValueError(
+                "power iteration diverged; the matrix does not look "
+                "stochastic"
+            )
+        updated = updated / total
+        if np.abs(updated - vector).max() <= tol:
+            return _sanitize(updated)
+        vector = updated
+    raise ValueError(
+        f"power iteration did not converge in {max_iterations} sweeps "
+        f"(tol={tol}); the chain may be periodic or nearly reducible"
+    )
+
+
+def stationary_via_eigen(matrix: np.ndarray) -> np.ndarray:
+    """Left Perron eigenvector of ``P`` for eigenvalue 1.
+
+    Dense ``np.linalg.eig`` is ``O(M^3)`` with a large constant and
+    complex intermediates, so beyond :data:`EIGEN_SIZE_LIMIT` states
+    this delegates to :func:`stationary_via_power_iteration`; the exact
+    eigensolver remains the small-``M`` cross-validation reference.
+    """
+    matrix = check_square("matrix", matrix)
+    if matrix.shape[0] > EIGEN_SIZE_LIMIT:
+        return stationary_via_power_iteration(matrix)
     eigenvalues, eigenvectors = np.linalg.eig(matrix.T)
     index = int(np.argmin(np.abs(eigenvalues - 1.0)))
     if abs(eigenvalues[index] - 1.0) > 1e-6:
@@ -63,12 +110,13 @@ def stationary_distribution(
 ) -> np.ndarray:
     """Stationary distribution of an ergodic chain.
 
-    ``method`` is one of ``"solve"`` (default), ``"eigen"``, or
-    ``"group-inverse"``.
+    ``method`` is one of ``"solve"`` (default), ``"eigen"``,
+    ``"power"``, or ``"group-inverse"``.
     """
     solvers = {
         "solve": stationary_via_linear_solve,
         "eigen": stationary_via_eigen,
+        "power": stationary_via_power_iteration,
         "group-inverse": stationary_via_group_inverse,
     }
     try:

@@ -25,8 +25,16 @@ RESULT_SCHEMA = "repro/result/v1"
 
 
 def topology_to_dict(topology: Topology) -> dict:
-    """Serializable description of a topology."""
-    return {
+    """Serializable description of a topology.
+
+    A sparse-support topology's adjacency mask is stored as the list of
+    feasible off-diagonal legs ``[j, k]`` (the diagonal is always
+    feasible) — compact for the street-grid families, whose masks have
+    ``O(M)`` true entries out of ``M^2``.  Unrestricted topologies omit
+    the key entirely, keeping their files byte-identical to the v1
+    format readers already accept.
+    """
+    payload = {
         "schema": TOPOLOGY_SCHEMA,
         "name": topology.name,
         "positions": [p.as_tuple() for p in topology.positions],
@@ -35,6 +43,11 @@ def topology_to_dict(topology: Topology) -> dict:
         "speed": topology.speed,
         "pause_times": topology.pause_times.tolist(),
     }
+    adjacency = topology.adjacency
+    if adjacency is not None:
+        np.fill_diagonal(adjacency, False)
+        payload["adjacency_legs"] = np.argwhere(adjacency).tolist()
+    return payload
 
 
 def topology_from_dict(data: dict) -> Topology:
@@ -44,6 +57,14 @@ def topology_from_dict(data: dict) -> Topology:
         raise ValueError(
             f"expected schema {TOPOLOGY_SCHEMA!r}, got {schema!r}"
         )
+    adjacency = None
+    legs = data.get("adjacency_legs")
+    if legs is not None:
+        count = len(data["positions"])
+        adjacency = np.zeros((count, count), dtype=bool)
+        for j, k in legs:
+            adjacency[int(j), int(k)] = True
+        np.fill_diagonal(adjacency, True)
     return Topology(
         positions=[tuple(p) for p in data["positions"]],
         target_shares=data["target_shares"],
@@ -51,6 +72,7 @@ def topology_from_dict(data: dict) -> Topology:
         speed=data.get("speed", 10.0),
         pause_times=data.get("pause_times", 10.0),
         name=data.get("name"),
+        adjacency=adjacency,
     )
 
 

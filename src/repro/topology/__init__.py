@@ -9,8 +9,17 @@ transition), per Section III-A of the paper.
 
 from repro.topology.model import PoI, Topology
 from repro.topology.grid import grid_topology, line_topology
-from repro.topology.library import paper_topology, PAPER_TOPOLOGY_IDS
-from repro.topology.random_gen import random_topology
+from repro.topology.library import (
+    PAPER_TOPOLOGY_IDS,
+    SCALABLE_FAMILIES,
+    paper_topology,
+    scalable_topology,
+)
+from repro.topology.random_gen import (
+    city_grid_topology,
+    random_topology,
+    ring_of_grids_topology,
+)
 
 __all__ = [
     "PoI",
@@ -19,5 +28,9 @@ __all__ = [
     "line_topology",
     "paper_topology",
     "PAPER_TOPOLOGY_IDS",
+    "SCALABLE_FAMILIES",
+    "scalable_topology",
     "random_topology",
+    "city_grid_topology",
+    "ring_of_grids_topology",
 ]

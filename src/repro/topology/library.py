@@ -23,9 +23,20 @@ from typing import Dict
 
 from repro.topology.grid import grid_topology, line_topology
 from repro.topology.model import Topology
+from repro.topology.random_gen import (
+    city_grid_topology,
+    ring_of_grids_topology,
+)
+from repro.utils.rng import RandomState
 
 #: Valid identifiers accepted by :func:`paper_topology`.
 PAPER_TOPOLOGY_IDS = (1, 2, 3, 4)
+
+#: Family names accepted by :func:`scalable_topology`.
+SCALABLE_FAMILIES = ("city-grid", "ring-of-grids")
+
+#: PoIs per cluster in the ring-of-grids family (4x4 blocks).
+_RING_BLOCK = 16
 
 
 def _topology_1() -> Topology:
@@ -85,3 +96,59 @@ def paper_topology(identifier: int) -> Topology:
             f"valid ids are {PAPER_TOPOLOGY_IDS}"
         ) from None
     return builder()
+
+
+def _near_square_factors(size: int):
+    """The divisor pair ``rows * cols == size`` closest to square."""
+    rows = int(size**0.5)
+    while rows > 1 and size % rows != 0:
+        rows -= 1
+    return rows, size // rows
+
+
+def scalable_topology(
+    family: str,
+    size: int,
+    seed: RandomState = None,
+    dirichlet_alpha=None,
+) -> Topology:
+    """Build one of the scalable sparse-support families at ``size`` PoIs.
+
+    The large-``M`` benchmark families (see
+    :mod:`repro.topology.random_gen`):
+
+    * ``"city-grid"`` — the near-square ``rows x cols`` street grid with
+      ``rows * cols == size`` (prime sizes degenerate to a single
+      street);
+    * ``"ring-of-grids"`` — ``size / 16`` clusters of ``4 x 4`` blocks
+      joined into a ring (``size`` must be a multiple of 16 with at
+      least two clusters).
+
+    Target shares are uniform unless ``dirichlet_alpha`` (plus ``seed``)
+    requests a random allocation.  Both families carry an adjacency
+    mask, so costs built on them default to the compact pass-by term and
+    are eligible for ``linalg="auto"`` sparse solves.
+    """
+    if size < 2:
+        raise ValueError(f"size must be >= 2, got {size}")
+    if family == "city-grid":
+        rows, cols = _near_square_factors(size)
+        return city_grid_topology(
+            rows, cols, seed=seed, dirichlet_alpha=dirichlet_alpha,
+            name=f"city-grid-{size}",
+        )
+    if family == "ring-of-grids":
+        if size % _RING_BLOCK != 0 or size < 2 * _RING_BLOCK:
+            raise ValueError(
+                "ring-of-grids sizes must be multiples of "
+                f"{_RING_BLOCK} with at least two clusters, got {size}"
+            )
+        return ring_of_grids_topology(
+            clusters=size // _RING_BLOCK, seed=seed,
+            dirichlet_alpha=dirichlet_alpha,
+            name=f"ring-of-grids-{size}",
+        )
+    raise ValueError(
+        f"unknown scalable family {family!r}; "
+        f"valid families are {SCALABLE_FAMILIES}"
+    )

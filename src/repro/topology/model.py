@@ -13,6 +13,7 @@ from repro.geometry.segments import Segment
 from repro.topology.timing import (
     check_disjoint_pois,
     passby_tensor,
+    support_passby_entries,
     travel_distance_matrix,
     travel_time_matrix,
 )
@@ -133,12 +134,21 @@ class Topology:
         broadcast to all PoIs.
     name:
         Optional human-readable label used in reports.
+    adjacency:
+        Optional boolean ``M x M`` mask of feasible transitions (sparse
+        road networks, city grids).  The diagonal is always forced
+        feasible (a sensor may pause in place), and the mask must be
+        strongly connected so a support-respecting chain can be ergodic.
+        ``None`` (the default, and the paper's setting) means every leg
+        is feasible.
 
     The derived matrices (Section III-A) are exposed as read-only
-    properties computed once at construction:
+    properties:
 
     * :attr:`travel_times` — ``T_jk`` including the destination pause.
-    * :attr:`passby` — the tensor ``T[j, k, i] = T_{jk,i}``.
+    * :attr:`passby` — the tensor ``T[j, k, i] = T_{jk,i}`` (dense
+      ``O(M^3)``; built lazily so large sparse topologies never pay for
+      it — they use :meth:`passby_entries` instead).
     * :attr:`distances` — raw pairwise distances ``d_jk``.
     """
 
@@ -150,6 +160,7 @@ class Topology:
         speed: float = DEFAULT_SPEED,
         pause_times=DEFAULT_PAUSE,
         name: Optional[str] = None,
+        adjacency: Optional[np.ndarray] = None,
     ) -> None:
         points = [as_point(p) for p in positions]
         if len(points) < 2:
@@ -179,9 +190,46 @@ class Topology:
         self._travel_times = travel_time_matrix(
             points, self._speed, pause_array
         )
-        self._passby = passby_tensor(
-            points, self._sensing_radius, self._speed, pause_array
-        )
+        self._adjacency = self._check_adjacency(adjacency, len(points))
+        # The dense O(M^3) pass-by tensor is built lazily (see passby).
+        self._passby_cache: Optional[np.ndarray] = None
+        self._entries_cache = None
+
+    @staticmethod
+    def _check_adjacency(adjacency, count: int) -> Optional[np.ndarray]:
+        """Validate the feasible-transition mask (or pass ``None`` through).
+
+        Forces the diagonal feasible and requires strong connectivity —
+        an unreachable (or non-returning) PoI makes every
+        support-respecting chain non-ergodic, which downstream solvers
+        would only discover as a confusing singular system.
+        """
+        if adjacency is None:
+            return None
+        adjacency = np.array(adjacency, dtype=bool)
+        if adjacency.shape != (count, count):
+            raise ValueError(
+                f"adjacency must have shape {(count, count)}, "
+                f"got {adjacency.shape}"
+            )
+        np.fill_diagonal(adjacency, True)
+        for mask in (adjacency, adjacency.T):
+            reachable = np.zeros(count, dtype=bool)
+            reachable[0] = True
+            frontier = reachable
+            while frontier.any():
+                expanded = mask[frontier].any(axis=0) & ~reachable
+                reachable |= expanded
+                frontier = expanded
+            if not reachable.all():
+                missing = np.nonzero(~reachable)[0]
+                raise ValueError(
+                    "adjacency is not strongly connected: PoIs "
+                    f"{missing[:5].tolist()} are unreachable from PoI 0 "
+                    "(or cannot return); no support-respecting chain can "
+                    "be ergodic"
+                )
+        return adjacency
 
     # ----------------------------------------------------------------- #
     # Basic attributes
@@ -245,9 +293,50 @@ class Topology:
         return self._travel_times.copy()
 
     @property
+    def adjacency(self) -> Optional[np.ndarray]:
+        """Feasible-transition mask (copy), or ``None`` when unrestricted."""
+        return None if self._adjacency is None else self._adjacency.copy()
+
+    def support_matrix(self) -> Optional[np.ndarray]:
+        """Alias of :attr:`adjacency` under the optimizer's vocabulary."""
+        return self.adjacency
+
+    @property
     def passby(self) -> np.ndarray:
-        """Coverage tensor ``T[j, k, i] = T_{jk,i}`` (copy)."""
-        return self._passby.copy()
+        """Coverage tensor ``T[j, k, i] = T_{jk,i}`` (copy).
+
+        Dense ``O(M^3)`` — built lazily on first access and cached, so
+        topologies that only ever use the sparse entry list
+        (:meth:`passby_entries`) never allocate it.
+        """
+        return self._dense_passby().copy()
+
+    def _dense_passby(self) -> np.ndarray:
+        if self._passby_cache is None:
+            self._passby_cache = passby_tensor(
+                self.positions, self._sensing_radius, self._speed,
+                self._pause_times,
+            )
+        return self._passby_cache
+
+    def passby_entries(self):
+        """Nonzero pass-by entries ``(j, k, i, T_jki)`` on supported legs.
+
+        The compact pass-by representation for sparse topologies (see
+        :func:`~repro.topology.timing.support_passby_entries`); requires
+        an ``adjacency`` mask.  Cached after the first call.
+        """
+        if self._adjacency is None:
+            raise ValueError(
+                "passby_entries requires a topology with an adjacency "
+                "mask; dense topologies use the passby tensor"
+            )
+        if self._entries_cache is None:
+            self._entries_cache = support_passby_entries(
+                self.positions, self._sensing_radius, self._speed,
+                self._pause_times, self._adjacency,
+            )
+        return self._entries_cache
 
     def chord_table(self) -> LegCoverageTable:
         """Per-leg chord fractions (see :class:`LegCoverageTable`).
@@ -275,7 +364,7 @@ class Topology:
         """
         if origin == destination:
             return []
-        row = self._passby[origin, destination]
+        row = self._dense_passby()[origin, destination]
         return [
             i
             for i in range(self.size)

@@ -1,4 +1,22 @@
-"""Random topology generation for tests and robustness experiments."""
+"""Random and scalable topology generation.
+
+Besides the rejection-sampled :func:`random_topology` used by tests and
+robustness experiments, this module builds the two **scalable families**
+used by the large-``M`` benchmarks (``benchmarks/perf/bench_largeM.py``):
+
+* :func:`city_grid_topology` — a street grid where a sensor may only
+  move to the four lattice neighbors (or pause), the canonical
+  sparse-support topology; and
+* :func:`ring_of_grids_topology` — densely connected grid clusters
+  joined into a ring through single gateway legs, giving a block-sparse
+  transition structure with long-range mixing bottlenecks.
+
+Both attach an ``adjacency`` mask to the returned
+:class:`~repro.topology.model.Topology`, which switches the cost layer
+to the compact pass-by representation and makes the sparse linear
+algebra (``linalg="sparse"``/``"auto"``) applicable; they scale to
+``M = 1024`` and beyond without ever materializing an ``O(M^3)`` tensor.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +26,11 @@ import numpy as np
 
 from repro.topology.model import DEFAULT_PAUSE, DEFAULT_SPEED, Topology
 from repro.utils.rng import RandomState, as_generator
+
+#: Cell spacing of the scalable families, meters.
+DEFAULT_CITY_SPACING = 100.0
+#: Sensing radius as a fraction of the spacing (discs stay disjoint).
+DEFAULT_CITY_RADIUS_FRACTION = 0.3
 
 
 def random_topology(
@@ -71,4 +94,165 @@ def random_topology(
         speed=speed,
         pause_times=pause_times,
         name=name or f"random-{count}",
+    )
+
+
+def _grid_adjacency(rows: int, cols: int) -> np.ndarray:
+    """4-neighbor lattice adjacency (diagonal filled by the model)."""
+    count = rows * cols
+    adjacency = np.zeros((count, count), dtype=bool)
+    index = np.arange(count).reshape(rows, cols)
+    horizontal = np.stack(
+        (index[:, :-1].ravel(), index[:, 1:].ravel()), axis=1
+    )
+    vertical = np.stack(
+        (index[:-1, :].ravel(), index[1:, :].ravel()), axis=1
+    )
+    for a, b in np.concatenate((horizontal, vertical)):
+        adjacency[a, b] = True
+        adjacency[b, a] = True
+    np.fill_diagonal(adjacency, True)
+    return adjacency
+
+
+def _target_shares(count: int, dirichlet_alpha, rng) -> np.ndarray:
+    """Uniform shares, or a Dirichlet draw when an alpha is given."""
+    if dirichlet_alpha is None:
+        return np.full(count, 1.0 / count)
+    if dirichlet_alpha <= 0:
+        raise ValueError(
+            f"dirichlet_alpha must be > 0, got {dirichlet_alpha}"
+        )
+    return rng.dirichlet(np.full(count, float(dirichlet_alpha)))
+
+
+def city_grid_topology(
+    rows: int,
+    cols: int,
+    spacing: float = DEFAULT_CITY_SPACING,
+    sensing_radius: Optional[float] = None,
+    speed: float = DEFAULT_SPEED,
+    pause_times=DEFAULT_PAUSE,
+    dirichlet_alpha: Optional[float] = None,
+    seed: RandomState = None,
+    name: Optional[str] = None,
+) -> Topology:
+    """A ``rows x cols`` street grid with 4-neighbor movement only.
+
+    PoIs sit on a square lattice; the adjacency mask allows transitions
+    to the north/south/east/west neighbors plus pausing in place, so
+    each row of a feasible transition matrix has at most 5 nonzeros
+    regardless of ``M`` — the archetypal sparse-support topology.
+    Target shares default to uniform; pass ``dirichlet_alpha`` (with a
+    ``seed``) for a random allocation.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"rows and cols must be >= 1, got {rows}x{cols}")
+    if rows * cols < 2:
+        raise ValueError("a city grid needs at least 2 PoIs")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be > 0, got {spacing}")
+    if sensing_radius is None:
+        sensing_radius = DEFAULT_CITY_RADIUS_FRACTION * spacing
+    rng = as_generator(seed)
+    positions = [
+        (col * spacing, row * spacing)
+        for row in range(rows)
+        for col in range(cols)
+    ]
+    count = rows * cols
+    return Topology(
+        positions=positions,
+        target_shares=_target_shares(count, dirichlet_alpha, rng),
+        sensing_radius=sensing_radius,
+        speed=speed,
+        pause_times=pause_times,
+        name=name or f"city-grid-{rows}x{cols}",
+        adjacency=_grid_adjacency(rows, cols),
+    )
+
+
+def ring_of_grids_topology(
+    clusters: int,
+    cluster_rows: int = 4,
+    cluster_cols: int = 4,
+    spacing: float = DEFAULT_CITY_SPACING,
+    sensing_radius: Optional[float] = None,
+    speed: float = DEFAULT_SPEED,
+    pause_times=DEFAULT_PAUSE,
+    dirichlet_alpha: Optional[float] = None,
+    seed: RandomState = None,
+    name: Optional[str] = None,
+) -> Topology:
+    """Grid clusters joined into a ring through single gateway legs.
+
+    Each of the ``clusters`` blocks is a ``cluster_rows x cluster_cols``
+    lattice with internal 4-neighbor movement; consecutive clusters
+    around the ring are linked by one bidirectional leg between their
+    gateway PoIs (the last PoI of one block and the first of the next).
+    The result is block-sparse with mixing bottlenecks at the gateways —
+    a qualitatively different stress test for the sparse solvers than
+    the uniform city grid.  Cluster centers are spread on a circle wide
+    enough that all sensing discs stay disjoint.
+    """
+    if clusters < 2:
+        raise ValueError(f"clusters must be >= 2, got {clusters}")
+    if cluster_rows < 1 or cluster_cols < 1:
+        raise ValueError(
+            "cluster_rows and cluster_cols must be >= 1, got "
+            f"{cluster_rows}x{cluster_cols}"
+        )
+    if cluster_rows * cluster_cols < 2:
+        raise ValueError("each cluster needs at least 2 PoIs")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be > 0, got {spacing}")
+    if sensing_radius is None:
+        sensing_radius = DEFAULT_CITY_RADIUS_FRACTION * spacing
+    rng = as_generator(seed)
+    block = cluster_rows * cluster_cols
+    count = clusters * block
+
+    # Ring radius: adjacent cluster centers must clear the cluster
+    # diagonal plus one extra cell of slack so the blocks never touch.
+    extent = np.hypot(cluster_rows - 1, cluster_cols - 1) * spacing
+    min_separation = extent + 2.0 * spacing
+    ring_radius = min_separation / (2.0 * np.sin(np.pi / clusters))
+
+    offsets = np.array(
+        [
+            (col * spacing, row * spacing)
+            for row in range(cluster_rows)
+            for col in range(cluster_cols)
+        ]
+    )
+    offsets -= offsets.mean(axis=0)
+    positions = []
+    for cluster in range(clusters):
+        angle = 2.0 * np.pi * cluster / clusters
+        center = ring_radius * np.array([np.cos(angle), np.sin(angle)])
+        for offset in offsets:
+            point = center + offset
+            positions.append((float(point[0]), float(point[1])))
+
+    adjacency = np.zeros((count, count), dtype=bool)
+    block_adjacency = _grid_adjacency(cluster_rows, cluster_cols)
+    for cluster in range(clusters):
+        base = cluster * block
+        adjacency[base:base + block, base:base + block] = block_adjacency
+        # Gateway leg: this cluster's last PoI <-> next cluster's first.
+        exit_poi = base + block - 1
+        entry_poi = ((cluster + 1) % clusters) * block
+        adjacency[exit_poi, entry_poi] = True
+        adjacency[entry_poi, exit_poi] = True
+
+    return Topology(
+        positions=positions,
+        target_shares=_target_shares(count, dirichlet_alpha, rng),
+        sensing_radius=sensing_radius,
+        speed=speed,
+        pause_times=pause_times,
+        name=name or (
+            f"ring-{clusters}x{cluster_rows}x{cluster_cols}"
+        ),
+        adjacency=adjacency,
     )

@@ -81,6 +81,92 @@ def passby_tensor(
     return tensor
 
 
+def support_passby_entries(
+    positions,
+    sensing_radius: float,
+    speed: float,
+    pause_times: np.ndarray,
+    adjacency: np.ndarray,
+):
+    """Nonzero pass-by entries ``(j, k, i, T_{jk,i})`` on supported legs.
+
+    The sparse-topology counterpart of :func:`passby_tensor`: instead of
+    the dense ``O(M^3)`` tensor (8+ GB at ``M = 1024``) it returns four
+    flat arrays listing only the nonzero entries of legs allowed by the
+    boolean ``adjacency`` mask, with the same conventions —
+    ``T_{jj,j} = P_j``, ``T_{jk,j} = 0``, ``T_{jk,k} = P_k``, and chord
+    time for intermediate PoIs.  The per-leg chord geometry replicates
+    :func:`~repro.geometry.coverage.chord_through_disc` step for step,
+    vectorized over candidate PoIs.
+    """
+    if sensing_radius < 0:
+        raise ValueError(f"sensing_radius must be >= 0, got {sensing_radius}")
+    if speed <= 0:
+        raise ValueError(f"speed must be > 0, got {speed}")
+    pause_times = np.asarray(pause_times, dtype=float)
+    coords = np.asarray([p.as_tuple() for p in positions], dtype=float)
+    count = coords.shape[0]
+    adjacency = np.asarray(adjacency, dtype=bool)
+    if adjacency.shape != (count, count):
+        raise ValueError(
+            f"adjacency must have shape {(count, count)}, "
+            f"got {adjacency.shape}"
+        )
+    j_parts = []
+    k_parts = []
+    i_parts = []
+    t_parts = []
+    # Self-loops: the sensor pauses at j, covering only j.
+    diagonal = np.nonzero(np.diag(adjacency))[0]
+    j_parts.append(diagonal)
+    k_parts.append(diagonal)
+    i_parts.append(diagonal)
+    t_parts.append(pause_times[diagonal])
+    indices = np.arange(count)
+    radius_sq = sensing_radius * sensing_radius
+    legs = np.argwhere(adjacency & ~np.eye(count, dtype=bool))
+    for j, k in legs:
+        start = coords[j]
+        delta = coords[k] - start
+        length_sq = float(delta @ delta)
+        length = np.sqrt(length_sq)
+        # chord_through_disc, vectorized: unclamped line projection,
+        # clamped segment distance, then the Pythagoras half-chord.
+        offsets = coords - start[None, :]
+        t_line = (offsets @ delta) / length_sq
+        closest = np.clip(t_line, 0.0, 1.0)[:, None] * delta[None, :]
+        seg_dist_sq = ((offsets - closest) ** 2).sum(axis=1)
+        cross = delta[0] * offsets[:, 1] - delta[1] * offsets[:, 0]
+        line_dist_sq = cross * cross / length_sq
+        half = np.sqrt(np.maximum(radius_sq - line_dist_sq, 0.0)) / length
+        fractions = (
+            np.minimum(1.0, t_line + half) - np.maximum(0.0, t_line - half)
+        )
+        covered = (
+            (seg_dist_sq <= radius_sq)
+            & (line_dist_sq <= radius_sq)
+            & (fractions > 0.0)
+            & (indices != j)
+            & (indices != k)
+        )
+        hit = np.nonzero(covered)[0]
+        hit_count = hit.size + 1  # + the destination's pause entry
+        j_parts.append(np.full(hit_count, j))
+        k_parts.append(np.full(hit_count, k))
+        i_parts.append(np.concatenate((hit, [k])))
+        t_parts.append(
+            np.concatenate(
+                (fractions[hit] * (length / speed), [pause_times[k]])
+            )
+        )
+    return (
+        np.concatenate(j_parts).astype(np.intp),
+        np.concatenate(k_parts).astype(np.intp),
+        np.concatenate(i_parts).astype(np.intp),
+        np.concatenate(t_parts).astype(float),
+    )
+
+
 def check_disjoint_pois(positions, sensing_radius: float) -> None:
     """Raise if two PoIs could be covered simultaneously.
 
@@ -89,13 +175,12 @@ def check_disjoint_pois(positions, sensing_radius: float) -> None:
     ``2 * sensing_radius``.
     """
     distances = travel_distance_matrix(positions)
-    count = distances.shape[0]
-    for j in range(count):
-        for k in range(j + 1, count):
-            if distances[j, k] <= 2.0 * sensing_radius:
-                raise ValueError(
-                    f"PoIs {j} and {k} are {distances[j, k]:.3g} m apart, "
-                    f"within twice the sensing radius "
-                    f"{sensing_radius:.3g} m; the paper requires disjoint "
-                    "PoIs (no position covers two at once)"
-                )
+    close = np.triu(distances <= 2.0 * sensing_radius, k=1)
+    if close.any():
+        j, k = np.argwhere(close)[0]
+        raise ValueError(
+            f"PoIs {j} and {k} are {distances[j, k]:.3g} m apart, "
+            f"within twice the sensing radius "
+            f"{sensing_radius:.3g} m; the paper requires disjoint "
+            "PoIs (no position covers two at once)"
+        )

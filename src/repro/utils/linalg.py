@@ -45,15 +45,34 @@ def row_normalize(matrix: np.ndarray) -> np.ndarray:
     return matrix / sums
 
 
-def project_row_sum_zero(matrix: np.ndarray) -> np.ndarray:
+def project_row_sum_zero(
+    matrix: np.ndarray, support: np.ndarray = None
+) -> np.ndarray:
     """Orthogonally project onto the subspace of row-sum-zero matrices.
 
     This is Eq. (11) of the paper: ``Pi_ij = U_ij - mean_k(U_ik)``.  Updating
     a row-stochastic matrix along a row-sum-zero direction preserves its row
     sums exactly, which is how the descent iteration stays on the simplex.
+
+    With a boolean ``support`` mask (sparse topologies restrict feasible
+    transitions to an adjacency pattern), the projection is onto
+    row-sum-zero matrices *vanishing off the support*: the row mean is
+    taken over supported entries only and unsupported entries are zeroed,
+    so descent directions never move probability onto infeasible legs.
     """
     matrix = check_square("matrix", matrix)
-    return matrix - matrix.mean(axis=1, keepdims=True)
+    if support is None:
+        return matrix - matrix.mean(axis=1, keepdims=True)
+    support = np.asarray(support, dtype=bool)
+    if support.shape != matrix.shape:
+        raise ValueError(
+            f"support shape {support.shape} != matrix shape {matrix.shape}"
+        )
+    counts = support.sum(axis=1, keepdims=True)
+    if np.any(counts == 0):
+        raise ValueError("support has an all-empty row")
+    means = (matrix * support).sum(axis=1, keepdims=True) / counts
+    return np.where(support, matrix - means, 0.0)
 
 
 def relative_error(actual: np.ndarray, expected: np.ndarray) -> float:

@@ -49,6 +49,9 @@ class PerfCounters:
     batch_matrices: int = 0
     executor_tasks: int = 0
     executor_task_seconds: float = 0.0
+    sparse_factorizations: int = 0
+    incremental_updates: int = 0
+    incremental_refactorizations: int = 0
 
     def add(self, name: str, amount=1) -> None:
         """Increment counter ``name`` by ``amount``."""

@@ -253,6 +253,8 @@ class TestPublicApiSnapshot:
             # topology
             "PoI", "Topology", "grid_topology", "line_topology",
             "paper_topology", "random_topology", "PAPER_TOPOLOGY_IDS",
+            "city_grid_topology", "ring_of_grids_topology",
+            "scalable_topology", "SCALABLE_FAMILIES",
             # simulation
             "SimulationOptions", "SimulationResult", "simulate_schedule",
             # baselines

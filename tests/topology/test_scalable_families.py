@@ -1,0 +1,179 @@
+"""The scalable sparse-support topology families.
+
+``city_grid_topology`` / ``ring_of_grids_topology`` /
+``scalable_topology`` exist to stress the large-``M`` sparse solvers,
+so their contracts matter: adjacency masks must be symmetric, strongly
+connected, genuinely sparse, and must survive persistence round-trips
+exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    SCALABLE_FAMILIES,
+    city_grid_topology,
+    ring_of_grids_topology,
+    scalable_topology,
+)
+from repro.persist import topology_from_dict, topology_to_dict
+
+
+def reachable_all(adjacency: np.ndarray) -> bool:
+    """Strong connectivity via boolean closure from PoI 0."""
+    frontier = np.zeros(adjacency.shape[0], dtype=bool)
+    frontier[0] = True
+    while True:
+        grown = frontier | adjacency[frontier].any(axis=0)
+        if np.array_equal(grown, frontier):
+            return bool(frontier.all())
+        frontier = grown
+
+
+class TestCityGrid:
+    def test_shape_and_naming(self):
+        topology = city_grid_topology(3, 5)
+        assert topology.size == 15
+        assert topology.name == "city-grid-3x5"
+
+    def test_adjacency_is_4_neighbor(self):
+        rows, cols = 4, 6
+        topology = city_grid_topology(rows, cols)
+        adjacency = topology.adjacency
+        assert adjacency is not None
+        assert np.array_equal(adjacency, adjacency.T)
+        assert adjacency.diagonal().all()
+        for j in range(rows * cols):
+            r, c = divmod(j, cols)
+            neighbors = {
+                (r + dr) * cols + (c + dc)
+                for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1))
+                if 0 <= r + dr < rows and 0 <= c + dc < cols
+            }
+            assert set(np.nonzero(adjacency[j])[0]) == neighbors | {j}
+        # At most 5 nonzeros per row, whatever the size.
+        assert adjacency.sum(axis=1).max() <= 5
+
+    def test_strongly_connected(self):
+        assert reachable_all(city_grid_topology(5, 7).adjacency)
+
+    def test_uniform_shares_by_default(self):
+        topology = city_grid_topology(3, 3)
+        np.testing.assert_allclose(
+            topology.target_shares, np.full(9, 1.0 / 9.0)
+        )
+
+    def test_dirichlet_shares_seeded(self):
+        a = city_grid_topology(3, 3, dirichlet_alpha=2.0, seed=4)
+        b = city_grid_topology(3, 3, dirichlet_alpha=2.0, seed=4)
+        np.testing.assert_array_equal(a.target_shares, b.target_shares)
+        assert a.target_shares.std() > 0
+        assert a.target_shares.sum() == pytest.approx(1.0)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            city_grid_topology(0, 4)
+        with pytest.raises(ValueError, match="at least 2"):
+            city_grid_topology(1, 1)
+        with pytest.raises(ValueError, match="spacing"):
+            city_grid_topology(2, 2, spacing=0.0)
+
+
+class TestRingOfGrids:
+    def test_shape_and_gateways(self):
+        clusters, block = 3, 16
+        topology = ring_of_grids_topology(clusters)
+        assert topology.size == clusters * block
+        adjacency = topology.adjacency
+        assert np.array_equal(adjacency, adjacency.T)
+        for cluster in range(clusters):
+            exit_poi = cluster * block + block - 1
+            entry_poi = ((cluster + 1) % clusters) * block
+            assert adjacency[exit_poi, entry_poi]
+        # No other inter-cluster legs exist.
+        inter = 0
+        for j, k in zip(*np.nonzero(adjacency)):
+            if j // block != k // block:
+                inter += 1
+        assert inter == 2 * clusters  # one bidirectional leg per seam
+
+    def test_strongly_connected(self):
+        assert reachable_all(ring_of_grids_topology(4).adjacency)
+
+    def test_clusters_do_not_overlap(self):
+        topology = ring_of_grids_topology(2)
+        positions = np.array(
+            [(p.x, p.y) for p in topology.positions]
+        )
+        first, second = positions[:16], positions[16:]
+        gap = np.hypot(
+            *(first[:, None, :] - second[None, :, :]).transpose(2, 0, 1)
+        ).min()
+        assert gap > 2.0 * topology.sensing_radius
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError, match="clusters"):
+            ring_of_grids_topology(1)
+        with pytest.raises(ValueError, match="at least 2"):
+            ring_of_grids_topology(2, cluster_rows=1, cluster_cols=1)
+
+
+class TestScalableTopology:
+    def test_families_snapshot(self):
+        assert SCALABLE_FAMILIES == ("city-grid", "ring-of-grids")
+
+    @pytest.mark.parametrize("family", SCALABLE_FAMILIES)
+    def test_requested_size_honored(self, family):
+        size = 64
+        topology = scalable_topology(family, size, seed=0)
+        assert topology.size == size
+        assert topology.adjacency is not None
+        assert reachable_all(topology.adjacency)
+        # Sparse by construction: average degree stays O(1).
+        assert topology.adjacency.sum() < 6 * size
+
+    def test_city_grid_prime_size_degenerates_to_street(self):
+        topology = scalable_topology("city-grid", 7)
+        assert topology.size == 7
+        assert topology.adjacency.sum(axis=1).max() <= 3
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="family"):
+            scalable_topology("torus", 64)
+
+    def test_ring_size_constraints(self):
+        with pytest.raises(ValueError, match="multiples"):
+            scalable_topology("ring-of-grids", 40)
+        with pytest.raises(ValueError, match="multiples"):
+            scalable_topology("ring-of-grids", 16)
+
+    def test_tiny_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            scalable_topology("city-grid", 1)
+
+
+class TestAdjacencyPersistence:
+    def test_round_trip_preserves_adjacency_exactly(self):
+        topology = scalable_topology("ring-of-grids", 32, seed=2)
+        loaded = topology_from_dict(topology_to_dict(topology))
+        np.testing.assert_array_equal(
+            loaded.adjacency, topology.adjacency
+        )
+        np.testing.assert_allclose(
+            loaded.travel_times, topology.travel_times
+        )
+
+    def test_legs_listed_off_diagonal_only(self):
+        topology = scalable_topology("city-grid", 9, seed=2)
+        data = topology_to_dict(topology)
+        legs = np.array(data["adjacency_legs"])
+        assert (legs[:, 0] != legs[:, 1]).all()
+
+    def test_dense_topologies_omit_legs(self):
+        from repro import paper_topology
+
+        data = topology_to_dict(paper_topology(1))
+        assert "adjacency_legs" not in data
+        assert topology_from_dict(data).adjacency is None
