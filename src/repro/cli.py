@@ -27,7 +27,7 @@ import inspect
 import repro.experiments as experiments
 from repro import persist
 from repro.analysis.pareto import pareto_filter, tradeoff_curve
-from repro.exec import BACKENDS, using_executor
+from repro.exec import BACKENDS, TRANSPORTS, using_executor
 from repro.core.api import OPTIMIZER_REGISTRY, optimize
 from repro.core.cost import LINALG_MODES, CostWeights, CoverageCost
 from repro.simulation.engine import (
@@ -106,15 +106,25 @@ def _add_parallel_flags(parser) -> None:
             "'serial' otherwise"
         ),
     )
+    parser.add_argument(
+        "--transport", choices=TRANSPORTS, default=None,
+        help=(
+            "process-backend payload transport: 'pickle' (plain bytes), "
+            "'shm' (shared-memory tensors, broadcast-once costs), or "
+            "'auto' (shm above a size threshold; the default); results "
+            "are bit-identical either way"
+        ),
+    )
 
 
 def _executor_spec(args):
-    """The ``(backend, jobs)`` pair requested on the command line."""
+    """The ``(backend, jobs, transport)`` triple from the command line."""
     jobs = getattr(args, "jobs", None)
     backend = getattr(args, "backend", None)
+    transport = getattr(args, "transport", None)
     if backend is None:
         backend = "process" if jobs is not None and jobs > 1 else "serial"
-    return backend, jobs
+    return backend, jobs, transport
 
 
 def _cmd_topology(args) -> int:
@@ -438,18 +448,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    Commands with ``--jobs`` / ``--backend`` run inside a
-    :func:`repro.exec.using_executor` scope, so every multi-run driver
-    they reach (``run_many``, ``optimize_multistart``,
+    Commands with ``--jobs`` / ``--backend`` / ``--transport`` run
+    inside a :func:`repro.exec.using_executor` scope, so every
+    multi-run driver they reach (``run_many``, ``optimize_multistart``,
     ``simulate_repeatedly``) fans out on the requested backend without
     further plumbing.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    backend, jobs = _executor_spec(args)
+    backend, jobs, transport = _executor_spec(args)
     if jobs is not None and jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
-    with using_executor(backend, jobs=jobs):
+    if transport == "shm" and backend != "process":
+        parser.error("--transport shm requires --backend process")
+    with using_executor(backend, jobs=jobs, transport=transport):
         return args.handler(args)
 
 

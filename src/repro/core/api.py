@@ -96,7 +96,8 @@ OPTIMIZER_REGISTRY: Dict[str, OptimizerSpec] = {
         accepts_initial=False,
         accepts_execution=True,
         extra_keywords=(
-            "random_starts", "delta_grid", "optimizer", "executor"
+            "random_starts", "delta_grid", "optimizer", "executor",
+            "transport",
         ),
         summary="portfolio of starts, best run kept; supports serial, "
         "executor, and lockstep execution",
@@ -136,7 +137,12 @@ def optimize(
     execution:
         ``"multistart"`` only: ``"serial"``, ``"lockstep"``, a
         :mod:`repro.exec` backend name, or an
-        :class:`~repro.exec.executor.Executor` instance.
+        :class:`~repro.exec.executor.Executor` instance.  The
+        method-specific ``transport`` keyword
+        (``"pickle"``/``"shm"``/``"auto"``) selects the process
+        backend's payload transport for executor-backed runs (see
+        :mod:`repro.exec.shm`); results are bit-identical across
+        transports.
     linalg:
         ``"dense"``, ``"sparse"``, or ``"auto"`` — override the cost's
         linear-algebra backend for this run via

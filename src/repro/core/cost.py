@@ -305,12 +305,30 @@ class CoverageCost:
         """Drop the tracker for pickling: ``splu`` objects don't travel.
 
         Worker processes (the process execution backend) rebuild their
-        own tracker lazily on first sparse state build.
+        own tracker lazily on first sparse state build.  When a
+        :func:`repro.exec.shm.transport_session` is active (the shm
+        transport), the large matrices held directly by the cost — the
+        travel-time copy and the dense pass-by/support arrays — are
+        additionally swapped for shared-memory handles; plain pickling
+        is unchanged.
         """
         state = self.__dict__.copy()
         state["_tracker"] = None
         state["_stationary_template"] = None  # cheap lazy rebuild
+        from repro.exec.shm import active_session, share_array
+
+        if active_session() is not None:
+            for key in ("_travel", "_passby", "_support"):
+                if key in state:
+                    state[key] = share_array(state[key])
         return state
+
+    def __setstate__(self, state):
+        from repro.exec.shm import resolve_shared
+
+        self.__dict__.update(
+            {key: resolve_shared(value) for key, value in state.items()}
+        )
 
     # ------------------------------------------------------------------ #
     # Values

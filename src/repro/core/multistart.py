@@ -113,6 +113,7 @@ def optimize_multistart(
     options: Optional[PerturbedOptions] = None,
     executor=None,
     execution=None,
+    transport=None,
 ) -> MultiStartResult:
     """Run ``optimizer`` from every start in the portfolio; keep the best.
 
@@ -134,11 +135,23 @@ def optimize_multistart(
     Every mode returns bit-identical runs.  ``executor`` remains as the
     original spelling for executor-backed runs; passing both is an
     error.
+
+    ``transport`` selects the process backend's payload transport
+    (``"pickle"`` | ``"shm"`` | ``"auto"``, see
+    :mod:`repro.exec.shm`); it applies when this call constructs the
+    backend from a name, and is rejected for the in-process
+    ``"serial"``/``"lockstep"`` modes, which have no serialization
+    boundary.  Results are bit-identical across transports.
     """
     if execution is not None:
         if executor is not None:
             raise ValueError(
                 "pass either execution= or executor=, not both"
+            )
+        if execution in ("serial", "lockstep") and transport is not None:
+            raise ValueError(
+                f"execution={execution!r} runs in-process; transport "
+                "applies to executor-backed runs"
             )
         if execution == "lockstep":
             if optimizer is not None and optimizer is not optimize_perturbed:
@@ -167,7 +180,9 @@ def optimize_multistart(
         (optimizer, cost, matrix, stream, options)
         for (_, matrix), stream in zip(starts, streams)
     ]
-    runs = resolve_executor(executor).map(_run_start, tasks)
+    runs = resolve_executor(executor, transport=transport).map(
+        _run_start, tasks
+    )
     labels = [label for label, _ in starts]
     best = min(runs, key=lambda run: run.best_u_eps)
     return MultiStartResult(best=best, runs=runs, start_labels=labels)

@@ -2,6 +2,7 @@
 
 from repro.exec.executor import (
     BACKENDS,
+    TRANSPORTS,
     Executor,
     ProcessExecutor,
     SerialExecutor,
@@ -13,17 +14,26 @@ from repro.exec.executor import (
     set_default_executor,
     using_executor,
 )
+from repro.exec.shm import (
+    SharedTensorStore,
+    TensorHandle,
+    transport_session,
+)
 
 __all__ = [
     "BACKENDS",
+    "TRANSPORTS",
     "Executor",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SharedTensorStore",
     "TaskTimings",
+    "TensorHandle",
     "default_executor",
     "get_executor",
     "resolve_executor",
     "set_default_executor",
     "using_executor",
+    "transport_session",
 ]

@@ -30,6 +30,7 @@ call chain.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
 import time
@@ -43,20 +44,41 @@ from repro.utils import perf
 #: Names accepted by :func:`get_executor` and the CLI ``--backend`` flag.
 BACKENDS = ("serial", "thread", "process")
 
+#: Transport modes for the process backend (``--transport`` semantics);
+#: re-exported from :mod:`repro.exec.shm` for convenience.
+TRANSPORTS = ("pickle", "shm", "auto")
+
 
 @dataclass
 class TaskTimings:
-    """Wall-clock accounting for one executor's lifetime."""
+    """Wall-clock accounting for one executor's lifetime.
+
+    ``dispatch_bytes`` / ``dispatch_seconds`` cover serialization of
+    task payloads on the submitting side — only the process backend
+    pays them; serial and thread dispatch is a function call.
+    """
 
     tasks: int = 0
     task_seconds: float = 0.0
     max_task_seconds: float = 0.0
     wall_seconds: float = 0.0
+    dispatch_bytes: int = 0
+    dispatch_seconds: float = 0.0
 
     def record_task(self, seconds: float) -> None:
         self.tasks += 1
         self.task_seconds += seconds
         self.max_task_seconds = max(self.max_task_seconds, seconds)
+
+    def record_dispatch(self, nbytes: int, seconds: float) -> None:
+        self.dispatch_bytes += nbytes
+        self.dispatch_seconds += seconds
+        perf.count("dispatch_bytes", nbytes)
+        perf.count("dispatch_seconds", seconds)
+
+    def mean_task_bytes(self) -> float:
+        """Average serialized payload size per dispatched task."""
+        return self.dispatch_bytes / self.tasks if self.tasks else 0.0
 
 
 def _timed_call(fn: Callable, item):
@@ -68,6 +90,20 @@ def _timed_call(fn: Callable, item):
     start = time.perf_counter()
     result = fn(item)
     return result, time.perf_counter() - start
+
+
+def _run_packed(blob: bytes):
+    """Worker entry point for the process backend.
+
+    The parent serializes ``(fn, item)`` itself (plain pickle or the
+    shared-memory transport — :func:`repro.exec.shm.unpack` reads
+    both), so payload bytes can be accounted and large tensors can
+    arrive as segment handles.
+    """
+    from repro.exec import shm
+
+    fn, item = shm.unpack(blob)
+    return _timed_call(fn, item)
 
 
 class Executor:
@@ -133,7 +169,13 @@ class SerialExecutor(Executor):
 
 
 class _PoolExecutor(Executor):
-    """Shared machinery for the ``concurrent.futures`` backends."""
+    """Shared machinery for the ``concurrent.futures`` backends.
+
+    A closed pool executor transparently re-opens on the next ``map``:
+    ``close`` releases the workers, and :meth:`_ensure_pool` lazily
+    builds a fresh pool when new work arrives (tested in
+    ``tests/exec/test_lifecycle.py``).
+    """
 
     _pool_type = None
 
@@ -142,15 +184,21 @@ class _PoolExecutor(Executor):
         self._pool = None
         self._lock = threading.Lock()
 
+    def _create_pool(self):
+        return self._pool_type(max_workers=self.jobs)
+
     def _ensure_pool(self):
         with self._lock:
             if self._pool is None:
-                self._pool = self._pool_type(max_workers=self.jobs)
+                self._pool = self._create_pool()
             return self._pool
+
+    def _submit(self, pool, fn: Callable, items: List):
+        return [pool.submit(_timed_call, fn, item) for item in items]
 
     def _run(self, fn: Callable, items: List):
         pool = self._ensure_pool()
-        futures = [pool.submit(_timed_call, fn, item) for item in items]
+        futures = self._submit(pool, fn, items)
         pairs = []
         error = None
         for future in futures:
@@ -182,16 +230,94 @@ class ThreadExecutor(_PoolExecutor):
 class ProcessExecutor(_PoolExecutor):
     """Process-pool backend for CPU-bound fan-outs.
 
-    Tasks cross a pickle boundary: only module-level functions with
-    picklable payloads are accepted (everything the built-in drivers
-    submit qualifies).  Per-run perf counters still come back attached
-    to each :class:`~repro.core.result.OptimizationResult`; ambient
+    Workers always come from an explicit ``spawn`` context, whatever
+    the platform default: spawned workers import the library afresh, so
+    fork-inherited module state can never mask a transport bug, and
+    behavior matches across Linux/macOS/Windows.
+
+    Tasks cross a serialization boundary: only module-level functions
+    with picklable payloads are accepted (everything the built-in
+    drivers submit qualifies).  ``transport`` selects how payloads
+    cross it — ``"pickle"`` (plain bytes), ``"shm"`` (shared-memory
+    tensor handles + broadcast-once costs/topologies, see
+    :mod:`repro.exec.shm`), or ``"auto"`` (the default: shm once the
+    estimated shareable payload of a task exceeds
+    :data:`repro.exec.shm.AUTO_TRANSPORT_THRESHOLD`).  Results are
+    bit-identical across transports; only dispatch cost changes.
+
+    Per-run perf counters still come back attached to each
+    :class:`~repro.core.result.OptimizationResult`; ambient
     :func:`~repro.utils.perf.perf_scope` counters in the parent do not
-    see child-process increments.
+    see child-process increments (the parent-side ``dispatch_bytes`` /
+    ``dispatch_seconds`` counters do land in the ambient scope).
     """
 
     name = "process"
     _pool_type = ProcessPoolExecutor
+
+    def __init__(
+        self, jobs: Optional[int] = None, transport: str = "auto"
+    ) -> None:
+        super().__init__(jobs=jobs)
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; valid: {TRANSPORTS}"
+            )
+        self.transport = transport
+        #: Transport used by the most recent ``map`` (``auto`` resolved).
+        self.last_transport: Optional[str] = None
+        self._store = None
+
+    def _create_pool(self):
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+
+    def _ensure_store(self):
+        from repro.exec.shm import SharedTensorStore
+
+        if self._store is None:
+            self._store = SharedTensorStore()
+        return self._store
+
+    def _resolve_transport(self, fn: Callable, items: List) -> str:
+        if self.transport != "auto":
+            return self.transport
+        from repro.exec import shm
+
+        if not items:
+            return "pickle"
+        probe = shm.estimate_shareable_bytes((fn, items[0]))
+        return "shm" if probe >= shm.AUTO_TRANSPORT_THRESHOLD else "pickle"
+
+    def _submit(self, pool, fn: Callable, items: List):
+        from repro.exec import shm
+
+        mode = self._resolve_transport(fn, items)
+        self.last_transport = mode
+        store = self._ensure_store() if mode == "shm" else None
+        futures = []
+        for item in items:
+            start = time.perf_counter()
+            blob = shm.pack((fn, item), store)
+            self.timings.record_dispatch(
+                len(blob), time.perf_counter() - start
+            )
+            futures.append(pool.submit(_run_packed, blob))
+        return futures
+
+    def close(self) -> None:
+        """Shut the pool down, then unlink the shm session (if any).
+
+        Order matters: workers must finish before their segments are
+        unlinked.  Like the pool, the store is recreated lazily if the
+        executor is used again after ``close``.
+        """
+        super().close()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
 
 _EXECUTORS = {
@@ -202,15 +328,34 @@ _EXECUTORS = {
 
 
 def get_executor(
-    backend: str = "serial", jobs: Optional[int] = None
+    backend: str = "serial",
+    jobs: Optional[int] = None,
+    transport: Optional[str] = None,
 ) -> Executor:
-    """Construct an executor by backend name (``--backend`` semantics)."""
+    """Construct an executor by backend name (``--backend`` semantics).
+
+    ``transport`` selects the process backend's payload transport
+    (``"pickle"`` | ``"shm"`` | ``"auto"``); requesting ``"shm"`` for a
+    backend with no serialization boundary is an error, while
+    ``"pickle"``/``"auto"`` are accepted no-ops there.
+    """
     try:
         factory = _EXECUTORS[backend]
     except KeyError:
         raise ValueError(
             f"unknown backend {backend!r}; valid: {sorted(_EXECUTORS)}"
         ) from None
+    if backend == "process":
+        return factory(jobs=jobs, transport=transport or "auto")
+    if transport is not None and transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; valid: {TRANSPORTS}"
+        )
+    if transport == "shm":
+        raise ValueError(
+            "transport='shm' requires the process backend; "
+            f"backend {backend!r} has no serialization boundary"
+        )
     return factory(jobs=jobs)
 
 
@@ -243,16 +388,21 @@ def set_default_executor(
 
 @contextmanager
 def using_executor(
-    executor: Union[Executor, str, None], jobs: Optional[int] = None
+    executor: Union[Executor, str, None],
+    jobs: Optional[int] = None,
+    transport: Optional[str] = None,
 ):
     """Scope a default executor for the ``with`` block.
 
     Accepts an :class:`Executor`, a backend name (constructed with
-    ``jobs`` workers and closed on exit), or ``None`` (serial).
+    ``jobs`` workers and the given ``transport``, closed on exit), or
+    ``None`` (serial).  The previous default is restored even when the
+    block raises (tested in ``tests/exec/test_lifecycle.py``).
     """
     owned = isinstance(executor, str) or executor is None
     resolved = (
-        get_executor(executor or "serial", jobs=jobs) if owned
+        get_executor(executor or "serial", jobs=jobs, transport=transport)
+        if owned
         else executor
     )
     previous = set_default_executor(resolved)
@@ -267,16 +417,31 @@ def using_executor(
 def resolve_executor(
     executor: Union[Executor, str, None] = None,
     jobs: Optional[int] = None,
+    transport: Optional[str] = None,
 ) -> Executor:
     """Resolve a driver's ``executor`` argument.
 
     ``None`` yields the process-wide default (serial unless one was
     installed via :func:`set_default_executor`/:func:`using_executor`);
     a string constructs that backend; an :class:`Executor` passes
-    through.
+    through.  ``transport`` applies only when this call constructs the
+    backend from a name — an existing executor (or the installed
+    default) carries its own transport setting, so combining it with a
+    non-``None`` ``transport`` raises rather than silently ignoring
+    the request.
     """
     if executor is None:
+        if transport is not None:
+            raise ValueError(
+                "transport applies when a backend is named; the default "
+                "executor carries its own transport setting"
+            )
         return default_executor()
     if isinstance(executor, str):
-        return get_executor(executor, jobs=jobs)
+        return get_executor(executor, jobs=jobs, transport=transport)
+    if transport is not None:
+        raise ValueError(
+            "transport applies when a backend is named; an Executor "
+            "instance carries its own transport setting"
+        )
     return executor

@@ -53,13 +53,16 @@ def run_many(
     seed: int = 0,
     trisection_rounds: int = 20,
     executor=None,
+    transport=None,
 ) -> List[OptimizationResult]:
     """Run ``algorithm`` (``"adaptive"`` or ``"perturbed"``) ``runs`` times.
 
     Each run draws an independent random initial matrix (the paper's V2
     recipe) from an independent RNG stream, so the result list does not
     depend on which backend executes the runs.  History recording is off:
-    multi-run experiments only need the achieved costs.
+    multi-run experiments only need the achieved costs.  ``transport``
+    selects the process backend's payload transport when ``executor``
+    names a backend (see :mod:`repro.exec.shm`).
     """
     if algorithm not in ("adaptive", "perturbed"):
         raise ValueError(
@@ -69,7 +72,9 @@ def run_many(
         (algorithm, cost, iterations, trisection_rounds, rng)
         for rng in spawn_generators(seed, runs)
     ]
-    return resolve_executor(executor).map(_run_one, tasks)
+    return resolve_executor(executor, transport=transport).map(
+        _run_one, tasks
+    )
 
 
 def optimize_weight_setting(
@@ -152,12 +157,15 @@ def simulate_repeatedly(
     warmup: Optional[int] = None,
     executor=None,
     engine: Optional[str] = None,
+    transport=None,
 ):
     """Simulate ``matrix`` several times; return the per-run results.
 
     ``engine`` picks the simulation implementation (``"vectorized"`` /
     ``"loop"``; ``None`` uses the default).  Both give bit-identical
     results — the knob exists for benchmarking and validation.
+    ``transport`` selects the process backend's payload transport when
+    ``executor`` names a backend (see :mod:`repro.exec.shm`).
     """
     if warmup is None:
         warmup = max(transitions // 10, 100)
@@ -171,7 +179,9 @@ def simulate_repeatedly(
         (topology, matrix, transitions, warmup, engine, rng)
         for rng in spawn_generators(seed, repetitions)
     ]
-    return resolve_executor(executor).map(_simulate_one, tasks)
+    return resolve_executor(executor, transport=transport).map(
+        _simulate_one, tasks
+    )
 
 
 def metric_band(values: Sequence[float]) -> SimulationBand:

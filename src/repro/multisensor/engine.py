@@ -295,6 +295,7 @@ def simulate_team_repeatedly(
     starts: Optional[Sequence[int]] = None,
     executor=None,
     engine: Optional[str] = None,
+    transport=None,
 ) -> List[TeamSimulationResult]:
     """Run ``repetitions`` independent team simulations; return them all.
 
@@ -309,6 +310,8 @@ def simulate_team_repeatedly(
     ``engine`` picks the team simulation implementation (``"vectorized"``
     / ``"loop"``; ``None`` uses the default).  Both give bit-identical
     results — the knob exists for benchmarking and validation.
+    ``transport`` selects the process backend's payload transport when
+    ``executor`` names a backend (see :mod:`repro.exec.shm`).
     """
     if repetitions < 1:
         raise ValueError(
@@ -326,7 +329,9 @@ def simulate_team_repeatedly(
         (topology, matrices, horizon, starts, engine, rng)
         for rng in spawn_generators(seed, repetitions)
     ]
-    return resolve_executor(executor).map(_simulate_team_task, tasks)
+    return resolve_executor(executor, transport=transport).map(
+        _simulate_team_task, tasks
+    )
 
 
 def _union_length(intervals: Sequence[tuple]) -> float:

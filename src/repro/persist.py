@@ -7,6 +7,7 @@ floats survive a round trip exactly (JSON numbers are doubles).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 from typing import Union
@@ -22,6 +23,37 @@ PathLike = Union[str, pathlib.Path]
 TOPOLOGY_SCHEMA = "repro/topology/v1"
 MATRIX_SCHEMA = "repro/matrix/v1"
 RESULT_SCHEMA = "repro/result/v1"
+
+#: Digest algorithm used for content addressing throughout the repo
+#: (shared-memory transport dedup today, result caching tomorrow).
+DIGEST_ALGORITHM = "sha256"
+
+
+def array_digest(array: np.ndarray) -> str:
+    """Content digest of an ndarray: dtype, shape, layout, and bytes.
+
+    Two arrays share a digest iff they are value- *and* layout-identical,
+    which is the equivalence the shared-memory transport needs: a
+    reattached segment must reproduce the source array bit for bit.
+    Fortran-ordered arrays hash their transpose's bytes (tagged ``F``)
+    so the digest never has to materialize a contiguous copy.
+    """
+    if array.flags.c_contiguous:
+        buffer, order = array, "C"
+    elif array.flags.f_contiguous:
+        buffer, order = array.T, "F"
+    else:
+        buffer, order = np.ascontiguousarray(array), "C"
+    hasher = hashlib.new(DIGEST_ALGORITHM)
+    header = f"{array.dtype.str}|{array.shape}|{order}|".encode()
+    hasher.update(header)
+    hasher.update(buffer.tobytes() if buffer.dtype.hasobject else buffer)
+    return hasher.hexdigest()
+
+
+def payload_digest(data: bytes) -> str:
+    """Content digest of an opaque byte payload (e.g. a pickled object)."""
+    return hashlib.new(DIGEST_ALGORITHM, data).hexdigest()
 
 
 def topology_to_dict(topology: Topology) -> dict:

@@ -91,11 +91,22 @@ class LegCoverageTable:
         )
 
     def __getstate__(self):
-        return {slot: getattr(self, slot) for slot in self.__slots__}
+        """Slot dict; large chord arrays become shared-memory handles
+        when a :func:`repro.exec.shm.transport_session` is active (the
+        process backend's shm transport), and plain arrays otherwise —
+        ordinary pickling is byte-for-byte unchanged."""
+        from repro.exec.shm import share_array
+
+        return {
+            slot: share_array(getattr(self, slot))
+            for slot in self.__slots__
+        }
 
     def __setstate__(self, state):
+        from repro.exec.shm import resolve_shared
+
         for slot, value in state.items():
-            setattr(self, slot, value)
+            setattr(self, slot, resolve_shared(value))
 
 
 @dataclass(frozen=True)
@@ -370,6 +381,39 @@ class Topology:
             for i in range(self.size)
             if i not in (origin, destination) and row[i] > 0.0
         ]
+
+    def __getstate__(self):
+        """Instance dict; the derived tensors (travel times, distances,
+        adjacency, cached pass-by/entries) become shared-memory handles
+        when a :func:`repro.exec.shm.transport_session` is active.
+        Without a session this returns the plain dict, so serial/thread
+        pickling and :mod:`copy` semantics are unchanged."""
+        from repro.exec.shm import active_session, share_array
+
+        if active_session() is None:
+            return self.__dict__
+        state = {}
+        for key, value in self.__dict__.items():
+            if isinstance(value, tuple):
+                value = tuple(share_array(v) for v in value)
+            else:
+                value = share_array(value)
+            state[key] = value
+        return state
+
+    def __setstate__(self, state):
+        from repro.exec.shm import TensorHandle, resolve_shared
+
+        restored = {}
+        for key, value in state.items():
+            if isinstance(value, tuple) and any(
+                isinstance(v, TensorHandle) for v in value
+            ):
+                value = tuple(resolve_shared(v) for v in value)
+            else:
+                value = resolve_shared(value)
+            restored[key] = value
+        self.__dict__.update(restored)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -52,6 +52,8 @@ class PerfCounters:
     sparse_factorizations: int = 0
     incremental_updates: int = 0
     incremental_refactorizations: int = 0
+    dispatch_bytes: int = 0
+    dispatch_seconds: float = 0.0
 
     def add(self, name: str, amount=1) -> None:
         """Increment counter ``name`` by ``amount``."""
@@ -108,6 +110,14 @@ class OptimizerPerf:
     candidate, so the historical rebuild-from-scratch behavior scores 3
     (batch + stationary solve + fundamental LU) and the sharing path
     scores 1.
+
+    ``dispatch_bytes`` / ``dispatch_seconds`` account serialization of
+    task payloads on the submitting side of the process backend (see
+    :class:`repro.exec.executor.TaskTimings`).  They are zero for runs
+    inside a worker — dispatch is paid by the parent, so they show up
+    in ambient :func:`perf_scope` counters around a fan-out (and in the
+    dispatch benchmark's output), not in the per-run perf attached to
+    each result.
     """
 
     factorizations: int = 0
@@ -118,6 +128,8 @@ class OptimizerPerf:
     accepted_steps: int = 0
     accept_factorizations: int = 0
     seconds: float = 0.0
+    dispatch_bytes: int = 0
+    dispatch_seconds: float = 0.0
 
     @classmethod
     def from_counters(cls, counters: PerfCounters, **extra):
@@ -128,6 +140,8 @@ class OptimizerPerf:
             states_reused=counters.states_reused,
             batch_calls=counters.batch_calls,
             batch_matrices=counters.batch_matrices,
+            dispatch_bytes=counters.dispatch_bytes,
+            dispatch_seconds=counters.dispatch_seconds,
             **extra,
         )
 

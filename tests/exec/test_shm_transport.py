@@ -1,0 +1,306 @@
+"""Shared-memory transport tests: store lifecycle, handle round trips,
+broadcast-once semantics, leak-free cleanup, and bit-identity of the
+process backend's ``shm`` transport against ``pickle`` and serial runs
+(the workers run under an explicit ``spawn`` context)."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import CostWeights, CoverageCost, paper_topology
+from repro.core.multistart import optimize_multistart
+from repro.core.perturbed import PerturbedOptions
+from repro.exec import ProcessExecutor, SharedTensorStore, TensorHandle
+from repro.exec import shm
+from repro.experiments.runner import simulate_repeatedly
+from repro.multisensor.engine import simulate_team_repeatedly
+
+ITERATIONS = 10
+
+
+def _repro_segments():
+    """Our segments currently present in ``/dev/shm``."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        pytest.skip("needs /dev/shm segment enumeration")
+    return {
+        name for name in os.listdir("/dev/shm")
+        if name.startswith(shm.SEGMENT_PREFIX)
+    }
+
+
+def _big(seed=0, size=200):
+    return np.random.default_rng(seed).standard_normal((size, size))
+
+
+class TestSharedTensorStore:
+    def test_put_round_trip_read_only(self):
+        with SharedTensorStore() as store:
+            array = _big()
+            handle = store.put(array)
+            assert isinstance(handle, TensorHandle)
+            view = handle.resolve()
+            assert np.array_equal(view, array)
+            assert view.dtype == array.dtype
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 1.0
+
+    def test_fortran_order_layout_preserved(self):
+        with SharedTensorStore() as store:
+            array = np.asfortranarray(_big(1))
+            view = store.put(array).resolve()
+            assert np.array_equal(view, array)
+            assert view.flags.f_contiguous
+
+    def test_content_dedup_same_segment(self):
+        with SharedTensorStore() as store:
+            a = _big(2)
+            first = store.put(a)
+            assert store.put(a.copy()) == first
+            assert len(store.segment_names()) == 1
+
+    def test_refcount_release_unlinks_at_zero(self):
+        with SharedTensorStore() as store:
+            a = _big(3)
+            handle = store.put(a)
+            store.put(a.copy())  # second reference
+            before = _repro_segments()
+            assert handle.segment in before
+            store.release(handle)
+            assert handle.segment in _repro_segments()
+            store.release(handle)
+            assert handle.segment not in _repro_segments()
+
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        store = SharedTensorStore()
+        store.put(_big(4))
+        names = set(store.segment_names())
+        assert names <= _repro_segments()
+        store.close()
+        store.close()
+        assert not names & _repro_segments()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.put(_big(4))
+
+    def test_context_manager_cleans_up_on_exception(self):
+        before = _repro_segments()
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedTensorStore() as store:
+                store.put(_big(5))
+                raise RuntimeError("boom")
+        assert _repro_segments() == before
+
+    def test_rejects_object_dtype(self):
+        with SharedTensorStore() as store:
+            with pytest.raises(TypeError, match="object-dtype"):
+                store.put(np.array([{}, []], dtype=object))
+
+
+class TestTransportPickling:
+    def test_plain_pickle_unchanged_without_session(self):
+        topology = paper_topology(1)
+        topology.chord_table()
+        cost = CoverageCost(topology, CostWeights(alpha=1.0, beta=1.0))
+        blob = pickle.dumps(cost)
+        assert b"TensorHandle" not in blob
+        clone = pickle.loads(blob)
+        probe = np.full((4, 4), 0.25)
+        assert clone.value(probe) == cost.value(probe)
+
+    def test_share_array_no_op_without_session(self):
+        array = _big(6)
+        assert shm.share_array(array) is array
+
+    def test_pack_broadcasts_cost_once(self):
+        cost = CoverageCost(
+            paper_topology(1), CostWeights(alpha=1.0, beta=1.0)
+        )
+        with SharedTensorStore() as store:
+            first = shm.pack((cost, np.zeros((4, 4))), store)
+            second = shm.pack((cost, np.ones((4, 4))), store)
+            # The cost travels as a digest both times; the payload is
+            # pickled into its own segment exactly once.
+            assert len(second) < 2_000
+            one = shm.unpack(first)
+            two = shm.unpack(second)
+        assert one[0] is not two[0]  # fresh object per task
+        probe = np.full((4, 4), 0.25)
+        assert one[0].value(probe) == cost.value(probe)
+
+    def test_large_task_arrays_share_memory_across_unpacks(self):
+        array = _big(7)
+        with SharedTensorStore() as store:
+            one = shm.unpack(shm.pack((array, 1), store))
+            two = shm.unpack(shm.pack((array, 2), store))
+            assert np.shares_memory(one[0], two[0])
+            assert np.array_equal(one[0], array)
+
+    def test_small_arrays_ride_inline(self):
+        small = np.arange(8.0)
+        with SharedTensorStore() as store:
+            blob = shm.pack((small,), store)
+            assert not store.segment_names()
+            (out,) = shm.unpack(blob)
+        assert np.array_equal(out, small)
+
+    def test_estimate_counts_topology_tensors(self):
+        cost = CoverageCost(
+            paper_topology(1), CostWeights(alpha=1.0, beta=1.0)
+        )
+        tiny = shm.estimate_shareable_bytes((cost, np.zeros((4, 4))))
+        big = shm.estimate_shareable_bytes((cost, _big(8, size=400)))
+        assert big >= 400 * 400 * 8
+        assert big > tiny
+
+
+class TestAutoTransportResolution:
+    def test_auto_picks_pickle_for_small_tasks(self):
+        executor = ProcessExecutor(jobs=1, transport="auto")
+        try:
+            mode = executor._resolve_transport(len, [np.zeros((4, 4))])
+            assert mode == "pickle"
+        finally:
+            executor.close()
+
+    def test_auto_picks_shm_above_threshold(self):
+        executor = ProcessExecutor(jobs=1, transport="auto")
+        try:
+            big = np.zeros(
+                (shm.AUTO_TRANSPORT_THRESHOLD // 8 + 1,), dtype=float
+            )
+            assert executor._resolve_transport(len, [big]) == "shm"
+        finally:
+            executor.close()
+
+    def test_explicit_transports_pass_through(self):
+        for transport in ("pickle", "shm"):
+            executor = ProcessExecutor(jobs=1, transport=transport)
+            try:
+                assert (
+                    executor._resolve_transport(len, [np.zeros(4)])
+                    == transport
+                )
+            finally:
+                executor.close()
+
+
+@pytest.fixture(scope="module")
+def cost():
+    topology = paper_topology(1)
+    topology.chord_table()
+    return CoverageCost(topology, CostWeights(alpha=1.0, beta=1.0))
+
+
+@pytest.fixture(scope="module")
+def shm_executor():
+    executor = ProcessExecutor(jobs=2, transport="shm")
+    yield executor
+    executor.close()
+
+
+class TestProcessBackendBitIdentity:
+    """shm-transport fan-outs reproduce the serial results bit for bit
+    (workers run under spawn, so nothing fork-inherited can help)."""
+
+    def test_spawn_context(self, shm_executor):
+        pool = shm_executor._ensure_pool()
+        assert pool._mp_context.get_start_method() == "spawn"
+
+    def test_multistart_matches_serial(self, cost, shm_executor):
+        options = PerturbedOptions(
+            max_iterations=ITERATIONS, trisection_rounds=5,
+            stall_limit=ITERATIONS + 1,
+        )
+        serial = optimize_multistart(
+            cost, random_starts=2, seed=3, options=options,
+            executor="serial",
+        )
+        shared = optimize_multistart(
+            cost, random_starts=2, seed=3, options=options,
+            executor=shm_executor,
+        )
+        assert shm_executor.last_transport == "shm"
+        assert shared.best.best_u_eps == serial.best.best_u_eps
+        assert shared.start_labels == serial.start_labels
+        for mine, reference in zip(shared.runs, serial.runs):
+            assert mine.best_u_eps == reference.best_u_eps
+            assert (
+                mine.best_matrix.tobytes()
+                == reference.best_matrix.tobytes()
+            )
+            assert (
+                mine.cost_trace().tobytes()
+                == reference.cost_trace().tobytes()
+            )
+            assert mine.perf is not None
+
+    def test_simulate_repeatedly_matches_serial(self, cost, shm_executor):
+        matrix = np.full((cost.size, cost.size), 0.25)
+        serial = simulate_repeatedly(
+            cost.topology, matrix, transitions=200, repetitions=3,
+            seed=11, executor="serial",
+        )
+        shared = simulate_repeatedly(
+            cost.topology, matrix, transitions=200, repetitions=3,
+            seed=11, executor=shm_executor,
+        )
+        for mine, reference in zip(shared, serial):
+            assert np.array_equal(
+                mine.coverage_shares, reference.coverage_shares
+            )
+            assert mine.delta_c == reference.delta_c
+            assert mine.total_time == reference.total_time
+
+    def test_team_simulation_matches_serial(self, cost, shm_executor):
+        matrices = [np.full((4, 4), 0.25), np.eye(4) * 0.4 + 0.15]
+        serial = simulate_team_repeatedly(
+            cost.topology, matrices, horizon=150.0, repetitions=2,
+            seed=21, executor="serial",
+        )
+        shared = simulate_team_repeatedly(
+            cost.topology, matrices, horizon=150.0, repetitions=2,
+            seed=21, executor=shm_executor,
+        )
+        from dataclasses import fields
+
+        for mine, reference in zip(shared, serial):
+            for field in fields(reference):
+                expected = np.asarray(getattr(reference, field.name))
+                actual = np.asarray(getattr(mine, field.name))
+                equal_nan = expected.dtype.kind == "f"
+                assert np.array_equal(
+                    actual, expected, equal_nan=equal_nan
+                ), field.name
+
+    def test_dispatch_accounting_recorded(self, shm_executor):
+        timings = shm_executor.timings
+        assert timings.dispatch_bytes > 0
+        assert timings.dispatch_seconds > 0.0
+        assert timings.mean_task_bytes() > 0.0
+
+
+def _boom(task):
+    raise RuntimeError("worker exploded")
+
+
+class TestLeakFreedom:
+    def test_no_segments_after_exception_and_close(self):
+        before = _repro_segments()
+        executor = ProcessExecutor(jobs=1, transport="shm")
+        try:
+            with pytest.raises(RuntimeError, match="worker exploded"):
+                executor.map(_boom, [(_big(9), 0), (_big(10), 1)])
+            assert set(executor._store.segment_names()) <= _repro_segments()
+        finally:
+            executor.close()
+        assert _repro_segments() == before
+        assert executor._store is None
+
+    def test_no_segments_after_module_fixture_runs(self, shm_executor):
+        # Segments are live while the executor is (broadcast reuse);
+        # they all carry our prefix so the post-close sweep above and
+        # the suite-wide check below can enumerate precisely.
+        live = set(shm_executor._store.segment_names())
+        assert live <= _repro_segments()

@@ -237,10 +237,15 @@ class TestCliParallel:
                 parser.parse_args(["experiment", "table1", *extra])
             )
 
-        assert spec() == ("serial", None)
-        assert spec("--jobs", "1") == ("serial", 1)
-        assert spec("--jobs", "4") == ("process", 4)
-        assert spec("--jobs", "4", "--backend", "thread") == ("thread", 4)
+        assert spec() == ("serial", None, None)
+        assert spec("--jobs", "1") == ("serial", 1, None)
+        assert spec("--jobs", "4") == ("process", 4, None)
+        assert spec("--jobs", "4", "--backend", "thread") == (
+            "thread", 4, None
+        )
+        assert spec("--jobs", "4", "--transport", "shm") == (
+            "process", 4, "shm"
+        )
 
     def test_jobs_flag_installs_default_executor(self, monkeypatch):
         from repro import cli
