@@ -122,3 +122,81 @@ def pareto_filter(
         if not any(q.dominates(p, tol) for q in points if q is not p)
     ]
     return sorted(survivors, key=lambda p: p.delta_c)
+
+
+# --------------------------------------------------------------------- #
+# Generic minimization fronts (plain coordinate arrays)
+# --------------------------------------------------------------------- #
+#
+# The sweep harness aggregates thousands of streamed cells into
+# per-family fronts; those cells carry plain ``(Delta C, E-bar)`` pairs
+# rather than TradeoffPoint objects, so the front arithmetic below works
+# on ``(n, d)`` coordinate arrays directly (all objectives minimized).
+
+
+def dominates_point(a, b, tol: float = 0.0) -> bool:
+    """Whether ``a`` dominates ``b``: no worse in every coordinate
+    (within ``tol``) and strictly better (beyond ``tol``) in at least
+    one.  Antisymmetric for any ``tol >= 0``."""
+    if tol < 0:
+        raise ValueError(f"tol must be >= 0, got {tol}")
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(
+            f"points must share one coordinate axis, got {a.shape} "
+            f"vs {b.shape}"
+        )
+    return bool(np.all(a <= b + tol) and np.any(a < b - tol))
+
+
+def pareto_front_mask(points, tol: float = 0.0) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of ``(n, d)`` ``points``.
+
+    Vectorized all-pairs dominance; ties (value-identical rows) all
+    survive, since neither dominates the other.
+    """
+    if tol < 0:
+        raise ValueError(f"tol must be >= 0, got {tol}")
+    pts = np.asarray(points, dtype=float)
+    if pts.size == 0:
+        return np.zeros(len(pts), dtype=bool)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (n, d), got shape {pts.shape}")
+    # dominated[i, j]: point j dominates point i
+    no_worse = np.all(pts[None, :, :] <= pts[:, None, :] + tol, axis=2)
+    better = np.any(pts[None, :, :] < pts[:, None, :] - tol, axis=2)
+    return ~(no_worse & better).any(axis=1)
+
+
+def pareto_front_indices(points, tol: float = 0.0) -> np.ndarray:
+    """Indices of the Pareto-efficient rows, sorted by coordinates
+    (then original index, for a deterministic order under ties)."""
+    pts = np.asarray(points, dtype=float)
+    mask = pareto_front_mask(pts, tol)
+    indices = np.nonzero(mask)[0]
+    if len(indices) == 0:
+        return indices
+    keys = tuple(pts[indices, axis]
+                 for axis in range(pts.shape[1] - 1, -1, -1))
+    return indices[np.lexsort((indices,) + keys)]
+
+
+def merge_pareto_fronts(fronts: Sequence, tol: float = 0.0) -> np.ndarray:
+    """Front of the union of several per-shard fronts.
+
+    With ``tol = 0`` dominance is a strict partial order, so filtering
+    the concatenation of per-shard fronts yields exactly the front of
+    the union of the underlying point sets — shards can be folded
+    incrementally without ever holding every point (the property tests
+    in ``tests/analysis`` assert this).  Returns the ``(k, d)`` front
+    coordinates.
+    """
+    stacked = [np.asarray(front, dtype=float) for front in fronts]
+    stacked = [front for front in stacked if front.size]
+    if not stacked:
+        return np.zeros((0, 2), dtype=float)
+    if any(front.ndim != 2 for front in stacked):
+        raise ValueError("every front must be an (n, d) array")
+    pool = np.concatenate(stacked, axis=0)
+    return pool[pareto_front_indices(pool, tol)]

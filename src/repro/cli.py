@@ -8,6 +8,8 @@ Five subcommands mirror the library's workflow::
     python -m repro simulate  --topology topo.json --matrix P.json \\
                               --transitions 100000
     python -m repro experiment table1
+    python -m repro sweep     --grid grid.json --out sweeps/run1 \\
+                              --shards 4 --jobs 4 --resume
     python -m repro tradeoff  --paper 1 --points 6
 
 Every command prints a plain-text report; ``--save*`` options write JSON
@@ -285,6 +287,60 @@ def _cmd_team(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.sweep import load_grid, merge_shards, run_sweep
+
+    grid = load_grid(args.grid)
+    if args.linalg is not None:
+        # Applied before expansion so every cell digest carries the
+        # override — a different linalg backend is different work.
+        grid = grid.with_linalg(args.linalg)
+    backend, jobs, transport = _executor_spec(args)
+    report = run_sweep(
+        grid,
+        args.out,
+        shards=args.shards,
+        backend=backend,
+        jobs=jobs,
+        transport=transport,
+        resume=args.resume,
+        max_cells=args.max_cells,
+    )
+    print(
+        f"sweep {args.out}: {report.total_cells} cells expanded, "
+        f"{report.unique_cells} unique "
+        f"({report.duplicate_cells} duplicates collapsed)"
+    )
+    print(
+        f"  skipped {report.skipped_cells} already complete, "
+        f"ran {report.ran_cells} on {report.shards} shard(s) "
+        f"[{report.backend}] in {report.wall_seconds:.2f} s"
+        + (" (interrupted by --max-cells)" if report.interrupted else "")
+    )
+    if report.broadcast_requests:
+        print(
+            f"  shm broadcast: {report.broadcast_hits}/"
+            f"{report.broadcast_requests} hits "
+            f"({report.broadcast_hit_ratio:.0%}), "
+            f"dispatch {report.dispatch_bytes} B, "
+            f"results {report.result_bytes} B"
+        )
+    print(f"  {report.records} records on disk")
+    for label, front in report.fronts.items():
+        print(f"  front {label}: {len(front)} point(s)")
+        for point in front:
+            print(
+                f"    dC={point['delta_c']:.5g} "
+                f"E={point['e_bar']:.5g}  "
+                f"[alpha={point['alpha']:g} beta={point['beta']:g} "
+                f"{point['method']} seed={point['seed']}]"
+            )
+    if args.merge:
+        count = merge_shards(args.out, args.merge)
+        print(f"merged {count} records to {args.merge}")
+    return 0
+
+
 def _cmd_tradeoff(args) -> int:
     topology = _load_topology(args)
     betas = np.geomspace(args.beta_max, args.beta_min, args.points)
@@ -429,6 +485,56 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_team.set_defaults(handler=_cmd_team)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="run a sharded, resumable scenario sweep from a grid file",
+    )
+    p_sw.add_argument(
+        "--grid", required=True,
+        help=(
+            "scenario grid JSON (schema repro/sweep-grid/v1; see "
+            "docs/sweeps.md)"
+        ),
+    )
+    p_sw.add_argument(
+        "--out", required=True,
+        help="sweep output directory (append-only JSONL shards)",
+    )
+    p_sw.add_argument(
+        "--shards", type=int, default=1,
+        help="number of shard queues / output files (default: 1)",
+    )
+    p_sw.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "continue a sweep directory that already holds shards; "
+            "cells with a completed record are skipped by digest"
+        ),
+    )
+    p_sw.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help=(
+            "stop after N cells this invocation (the sweep stays "
+            "resumable; mainly for smoke tests)"
+        ),
+    )
+    p_sw.add_argument(
+        "--merge", default=None, metavar="FILE",
+        help=(
+            "after the sweep, write the canonical merged JSONL "
+            "(sorted by cell digest) here"
+        ),
+    )
+    p_sw.add_argument(
+        "--linalg", choices=LINALG_MODES, default=None,
+        help=(
+            "override the grid's linear-algebra backend before "
+            "expansion (changes every cell digest)"
+        ),
+    )
+    _add_parallel_flags(p_sw)
+    p_sw.set_defaults(handler=_cmd_sweep)
 
     p_par = sub.add_parser(
         "tradeoff", help="trace the coverage/exposure Pareto frontier"

@@ -15,6 +15,7 @@ from repro.exec.executor import (
     using_executor,
 )
 from repro.exec.shm import (
+    ResultHandle,
     SharedTensorStore,
     TensorHandle,
     transport_session,
@@ -27,6 +28,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "ResultHandle",
     "SharedTensorStore",
     "TaskTimings",
     "TensorHandle",

@@ -34,7 +34,11 @@ import multiprocessing
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
@@ -56,6 +60,10 @@ class TaskTimings:
     ``dispatch_bytes`` / ``dispatch_seconds`` cover serialization of
     task payloads on the submitting side — only the process backend
     pays them; serial and thread dispatch is a function call.
+    ``result_bytes`` counts the serialized *return* payloads the
+    process backend collected (with the shm transport, large result
+    arrays travel as one-shot segment handles, so this shrinks the same
+    way ``dispatch_bytes`` does — benchmarks report both directions).
     """
 
     tasks: int = 0
@@ -64,6 +72,7 @@ class TaskTimings:
     wall_seconds: float = 0.0
     dispatch_bytes: int = 0
     dispatch_seconds: float = 0.0
+    result_bytes: int = 0
 
     def record_task(self, seconds: float) -> None:
         self.tasks += 1
@@ -75,6 +84,10 @@ class TaskTimings:
         self.dispatch_seconds += seconds
         perf.count("dispatch_bytes", nbytes)
         perf.count("dispatch_seconds", seconds)
+
+    def record_result(self, nbytes: int) -> None:
+        self.result_bytes += nbytes
+        perf.count("result_bytes", nbytes)
 
     def mean_task_bytes(self) -> float:
         """Average serialized payload size per dispatched task."""
@@ -92,18 +105,21 @@ def _timed_call(fn: Callable, item):
     return result, time.perf_counter() - start
 
 
-def _run_packed(blob: bytes):
+def _run_packed(blob: bytes, share_results: bool) -> bytes:
     """Worker entry point for the process backend.
 
     The parent serializes ``(fn, item)`` itself (plain pickle or the
     shared-memory transport — :func:`repro.exec.shm.unpack` reads
     both), so payload bytes can be accounted and large tensors can
-    arrive as segment handles.
+    arrive as segment handles.  The result travels back the same way:
+    packed into one byte blob (``share_results`` exports large arrays
+    to one-shot segments, see :func:`repro.exec.shm.pack_result`) so
+    the parent can account ``result_bytes`` on both transports.
     """
     from repro.exec import shm
 
     fn, item = shm.unpack(blob)
-    return _timed_call(fn, item)
+    return shm.pack_result(_timed_call(fn, item), share=share_results)
 
 
 class Executor:
@@ -139,6 +155,33 @@ class Executor:
             perf.count("executor_task_seconds", seconds)
             results.append(result)
         return results
+
+    def imap(self, fn: Callable, items: Sequence):
+        """Apply ``fn`` to every item, yielding ``(index, result)``
+        pairs *as tasks complete* (completion order for the pool
+        backends, input order for serial).
+
+        This is the streaming counterpart of :meth:`map`: consumers
+        that persist results incrementally (the sweep harness) can
+        write each one the moment it lands instead of waiting for the
+        whole fan-out.  The first task exception propagates after the
+        remaining tasks are cancelled or drained; closing the generator
+        early cancels what has not completed.
+        """
+        items = list(items)
+        start = time.perf_counter()
+        try:
+            for index, (result, seconds) in self._iter(fn, items):
+                self.timings.record_task(seconds)
+                perf.count("executor_tasks")
+                perf.count("executor_task_seconds", seconds)
+                yield index, result
+        finally:
+            self.timings.wall_seconds += time.perf_counter() - start
+
+    def _iter(self, fn: Callable, items: List):
+        for index, item in enumerate(items):
+            yield index, _timed_call(fn, item)
 
     def _run(self, fn: Callable, items: List):
         raise NotImplementedError
@@ -196,6 +239,24 @@ class _PoolExecutor(Executor):
     def _submit(self, pool, fn: Callable, items: List):
         return [pool.submit(_timed_call, fn, item) for item in items]
 
+    def _collect(self, future):
+        """Turn one completed future into a ``(result, seconds)`` pair."""
+        return future.result()
+
+    def _discard(self, future):
+        """Consume a completed future whose result will never be used
+        (a sibling task already failed), releasing any resources it
+        holds."""
+        try:
+            future.result()
+        except BaseException:  # noqa: BLE001 - draining, not handling
+            pass
+
+    def _drain(self, futures) -> None:
+        for future in futures:
+            if not future.cancel():
+                self._discard(future)
+
     def _run(self, fn: Callable, items: List):
         pool = self._ensure_pool()
         futures = self._submit(pool, fn, items)
@@ -203,15 +264,28 @@ class _PoolExecutor(Executor):
         error = None
         for future in futures:
             if error is not None:
-                future.cancel()
+                if not future.cancel():
+                    self._discard(future)
                 continue
             try:
-                pairs.append(future.result())
+                pairs.append(self._collect(future))
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 error = exc
         if error is not None:
             raise error
         return pairs
+
+    def _iter(self, fn: Callable, items: List):
+        pool = self._ensure_pool()
+        futures = self._submit(pool, fn, items)
+        index_of = {future: index for index, future in enumerate(futures)}
+        pending = set(futures)
+        try:
+            for future in as_completed(futures):
+                pending.discard(future)
+                yield index_of[future], self._collect(future)
+        finally:
+            self._drain(pending)
 
     def close(self) -> None:
         with self._lock:
@@ -256,7 +330,10 @@ class ProcessExecutor(_PoolExecutor):
     _pool_type = ProcessPoolExecutor
 
     def __init__(
-        self, jobs: Optional[int] = None, transport: str = "auto"
+        self,
+        jobs: Optional[int] = None,
+        transport: str = "auto",
+        store=None,
     ) -> None:
         super().__init__(jobs=jobs)
         if transport not in TRANSPORTS:
@@ -267,6 +344,11 @@ class ProcessExecutor(_PoolExecutor):
         #: Transport used by the most recent ``map`` (``auto`` resolved).
         self.last_transport: Optional[str] = None
         self._store = None
+        #: Externally owned store to retain instead of creating one —
+        #: how a sweep shares one broadcast registry across pool
+        #: generations.  The executor releases (``close``) exactly the
+        #: references it retained; the caller keeps its own.
+        self._shared_store = store
 
     def _create_pool(self):
         return ProcessPoolExecutor(
@@ -278,7 +360,15 @@ class ProcessExecutor(_PoolExecutor):
         from repro.exec.shm import SharedTensorStore
 
         if self._store is None:
-            self._store = SharedTensorStore()
+            if self._shared_store is not None:
+                try:
+                    self._store = self._shared_store.retain()
+                except RuntimeError:
+                    # The shared store was fully closed under us; fall
+                    # back to a private one rather than fail the map.
+                    self._store = SharedTensorStore()
+            else:
+                self._store = SharedTensorStore()
         return self._store
 
     def _resolve_transport(self, fn: Callable, items: List) -> str:
@@ -296,7 +386,8 @@ class ProcessExecutor(_PoolExecutor):
 
         mode = self._resolve_transport(fn, items)
         self.last_transport = mode
-        store = self._ensure_store() if mode == "shm" else None
+        share = mode == "shm"
+        store = self._ensure_store() if share else None
         futures = []
         for item in items:
             start = time.perf_counter()
@@ -304,8 +395,24 @@ class ProcessExecutor(_PoolExecutor):
             self.timings.record_dispatch(
                 len(blob), time.perf_counter() - start
             )
-            futures.append(pool.submit(_run_packed, blob))
+            futures.append(pool.submit(_run_packed, blob, share))
         return futures
+
+    def _collect(self, future):
+        from repro.exec import shm
+
+        blob = future.result()
+        self.timings.record_result(len(blob))
+        return shm.unpack_result(blob)
+
+    def _discard(self, future):
+        from repro.exec import shm
+
+        try:
+            blob = future.result()
+        except BaseException:  # noqa: BLE001 - draining, not handling
+            return
+        shm.discard_result(blob)
 
     def close(self) -> None:
         """Shut the pool down, then unlink the shm session (if any).

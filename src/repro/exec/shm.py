@@ -37,6 +37,20 @@ read-only tensors cross the process boundary exactly once:
   ``ProcessExecutor``: with a store, a :class:`pickle.Pickler` whose
   ``persistent_id`` swaps large plain ``ndarray``s for handles and
   broadcastable objects for digests; without one, plain pickle.
+* :func:`pack_result` / :func:`unpack_result` — the *return* direction.
+  A worker packs its result; large plain arrays are exported into
+  one-shot segments referenced by :class:`ResultHandle`, whose
+  ownership passes to the receiving parent (the parent copies the
+  bytes out and unlinks on receipt, so result segments never outlive
+  the fan-out).  With ``share=False`` this is plain pickle, byte-count
+  comparable — either way the parent can account ``result_bytes``.
+
+Stores are *owner-refcounted* so several executors (or several pool
+generations of a sweep) can share one store: :meth:`~SharedTensorStore.
+retain` adds an owner, :meth:`~SharedTensorStore.close` releases one,
+and segments are unlinked only when the last owner closes.  This is
+what lets a scenario sweep broadcast each distinct topology once per
+machine rather than once per pool.
 """
 
 from __future__ import annotations
@@ -66,6 +80,10 @@ TRANSPORTS = ("pickle", "shm", "auto")
 #: smaller ones ride inline in the task pickle (a segment + attach
 #: round-trip costs more than it saves below this).
 ARRAY_SHARE_THRESHOLD = 1 << 15
+
+#: Result arrays at least this large travel back through one-shot
+#: shared segments instead of the result pickle (same rationale).
+RESULT_SHARE_THRESHOLD = ARRAY_SHARE_THRESHOLD
 
 #: ``transport="auto"`` switches the process backend to shm when the
 #: estimated shareable bytes of one task exceed this.
@@ -249,7 +267,7 @@ def _close_open_stores() -> None:
     """Last-resort sweep: unlink any store the owner forgot to close."""
     for store in list(_open_stores):
         try:
-            store.close()
+            store._finalize()
         except Exception:  # pragma: no cover - shutdown best-effort
             pass
 
@@ -259,8 +277,18 @@ class SharedTensorStore:
 
     Also usable as a context manager (``with SharedTensorStore() as
     store``), closing — and therefore unlinking — on exit even when the
-    body raises.  ``close`` is idempotent; an atexit sweep closes any
-    store still open at interpreter shutdown.
+    body raises.  Stores are owner-refcounted: a freshly constructed
+    store has one owner, :meth:`retain` adds one, and :meth:`close`
+    releases one — segments are unlinked only when the last owner
+    closes.  Extra ``close`` calls after full closure are no-ops; an
+    atexit sweep force-closes any store still open at interpreter
+    shutdown.
+
+    ``broadcast_requests`` / ``broadcast_hits`` count how often
+    :meth:`broadcast` was asked to ship an object versus how often a
+    previously registered payload (same object or value-identical
+    content) could be reused — the sweep harness reports the ratio as
+    its broadcast-hit rate.
     """
 
     def __init__(self) -> None:
@@ -273,6 +301,9 @@ class SharedTensorStore:
         self._in_flight: set = set()
         self._pinned: List[object] = []
         self._closed = False
+        self._owners = 1
+        self.broadcast_requests = 0
+        self.broadcast_hits = 0
         self._tag = uuid.uuid4().hex[:8]
         self._counter = 0
         _open_stores.add(self)
@@ -348,12 +379,39 @@ class SharedTensorStore:
         with self._lock:
             return [e.shm.name for e in self._segments.values()]
 
+    def retain(self) -> "SharedTensorStore":
+        """Register another owner; every owner must ``close`` once.
+
+        Raises :class:`RuntimeError` if the store is already fully
+        closed (its segments are gone — a new store is needed).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedTensorStore is closed")
+            self._owners += 1
+            return self
+
     def close(self) -> None:
-        """Unlink every owned segment.  Idempotent."""
+        """Release one owner; the last release unlinks every segment.
+
+        Calling ``close`` after full closure is a no-op, so the
+        ``with`` protocol and defensive double-closes stay safe.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._owners -= 1
+            if self._owners > 0:
+                return
+        self._finalize()
+
+    def _finalize(self) -> None:
+        """Unconditionally unlink every owned segment.  Idempotent."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            self._owners = 0
             for entry in self._segments.values():
                 entry.unlink()
             self._segments.clear()
@@ -381,8 +439,10 @@ class SharedTensorStore:
         value-identical one — reuse the registered payload.
         """
         with self._lock:
+            self.broadcast_requests += 1
             memo = self._object_memo.get(id(obj))
             if memo is not None:
+                self.broadcast_hits += 1
                 return memo
             self._in_flight.add(id(obj))
         try:
@@ -399,6 +459,8 @@ class SharedTensorStore:
                 handle = self.put(np.frombuffer(payload, dtype=np.uint8))
                 pid_tail = (digest, handle)
                 self._broadcasts[digest] = pid_tail
+            else:
+                self.broadcast_hits += 1
             self._object_memo[id(obj)] = pid_tail
             try:
                 weakref.finalize(
@@ -546,6 +608,182 @@ def pack(payload, store: Optional[SharedTensorStore] = None) -> bytes:
 def unpack(blob: bytes):
     """Inverse of :func:`pack`; handles both transports."""
     return _TransportUnpickler(io.BytesIO(blob)).load()
+
+
+# --------------------------------------------------------------------- #
+# Result path: shipping worker results back through shared memory
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ResultHandle:
+    """Picklable reference to a result array in a *one-shot* segment.
+
+    Unlike :class:`TensorHandle`, ownership transfers with the handle:
+    the worker that exported the array unregisters the segment from the
+    resource tracker, and the receiving parent copies the bytes out and
+    unlinks on receipt (:func:`unpack_result`) or unlinks without
+    reading (:func:`discard_result`).  Result segments therefore never
+    outlive the fan-out that produced them.
+    """
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+    order: str
+    nbytes: int
+
+
+def _export_result_array(array: np.ndarray) -> ResultHandle:
+    """Worker side: copy ``array`` into a fresh one-shot segment."""
+    buffer, order = _c_layout(array)
+    segment = shared_memory.SharedMemory(
+        name=f"{SEGMENT_PREFIX}-res-{os.getpid()}-{uuid.uuid4().hex[:12]}",
+        create=True, size=max(1, buffer.nbytes),
+    )
+    # The receiver owns the unlink; drop the creator-side registration
+    # so the shared resource tracker never double-unlinks.
+    _untrack(segment)
+    np.ndarray(
+        buffer.shape, dtype=buffer.dtype, buffer=segment.buf
+    )[...] = buffer
+    handle = ResultHandle(
+        segment=segment.name, dtype=array.dtype.str,
+        shape=tuple(array.shape), order=order, nbytes=buffer.nbytes,
+    )
+    segment.close()
+    return handle
+
+
+def _open_result_segment(handle: ResultHandle):
+    # Attaching registers with the resource tracker; the ``unlink`` at
+    # receipt issues the matching unregister, so no ``_untrack`` here —
+    # only the worker's creation-time registration is dropped early.
+    return shared_memory.SharedMemory(name=handle.segment)
+
+
+def _import_result_array(handle: ResultHandle) -> np.ndarray:
+    """Parent side: materialize the array, then unlink the segment.
+
+    The returned array is a private writeable copy (matching what a
+    pickled result would have been), laid out exactly as the worker's
+    array was — ``F``-tagged segments come back Fortran-contiguous.
+    """
+    segment = _open_result_segment(handle)
+    try:
+        dtype = np.dtype(handle.dtype)
+        shape = tuple(handle.shape)
+        raw_shape = shape[::-1] if handle.order == "F" else shape
+        array = np.ndarray(
+            raw_shape, dtype=dtype, buffer=segment.buf
+        ).copy()
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            _untrack(segment)
+    return array.T if handle.order == "F" else array
+
+
+def _unlink_result(handle: ResultHandle) -> None:
+    """Release a result segment without reading it (discard path)."""
+    try:
+        segment = _open_result_segment(handle)
+    except FileNotFoundError:
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - racing sweeps
+        _untrack(segment)
+
+
+class _ResultPickler(pickle.Pickler):
+    """Swaps large plain result arrays for one-shot segment handles."""
+
+    def __init__(self, file) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._exported: Dict[int, ResultHandle] = {}
+
+    def persistent_id(self, obj):
+        if (
+            type(obj) is np.ndarray
+            and obj.nbytes >= RESULT_SHARE_THRESHOLD
+            and not obj.dtype.hasobject
+        ):
+            handle = self._exported.get(id(obj))
+            if handle is None:
+                handle = _export_result_array(obj)
+                self._exported[id(obj)] = handle
+            return ("result", handle)
+        return None
+
+
+class _ResultUnpickler(pickle.Unpickler):
+    """Inverse of :class:`_ResultPickler`: import + unlink on load."""
+
+    def __init__(self, file) -> None:
+        super().__init__(file)
+        self._imported: Dict[ResultHandle, np.ndarray] = {}
+
+    def persistent_load(self, pid):
+        if pid[0] == "result":
+            handle = pid[1]
+            array = self._imported.get(handle)
+            if array is None:
+                array = _import_result_array(handle)
+                self._imported[handle] = array
+            return array
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+class _ResultDiscarder(pickle.Unpickler):
+    """Unlinks every result segment in a blob without copying bytes."""
+
+    def persistent_load(self, pid):
+        if pid[0] == "result":
+            _unlink_result(pid[1])
+            return None
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def pack_result(payload, share: bool = True) -> bytes:
+    """Worker side: serialize a task result for the return trip.
+
+    With ``share`` (the shm transport), plain arrays of at least
+    :data:`RESULT_SHARE_THRESHOLD` bytes are exported to one-shot
+    segments and travel as handles; without it this is plain pickle.
+    Either way the parent sees one byte blob per task, so
+    ``TaskTimings.result_bytes`` accounts both transports uniformly.
+    """
+    if not share:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    buffer = io.BytesIO()
+    _ResultPickler(buffer).dump(payload)
+    return buffer.getvalue()
+
+
+def unpack_result(blob: bytes):
+    """Parent side inverse of :func:`pack_result` (both modes).
+
+    Any result segments referenced by the blob are consumed: their
+    bytes are copied into private arrays and the segments unlinked.
+    """
+    return _ResultUnpickler(io.BytesIO(blob)).load()
+
+
+def discard_result(blob: bytes) -> None:
+    """Release a result blob that will never be consumed.
+
+    Used on the executor's error path for tasks that completed after a
+    sibling already failed: their segments must still be unlinked or
+    they would outlive the fan-out.  Best-effort by design.
+    """
+    try:
+        _ResultDiscarder(io.BytesIO(blob)).load()
+    except Exception:  # pragma: no cover - discard must never raise
+        pass
 
 
 # --------------------------------------------------------------------- #

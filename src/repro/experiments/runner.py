@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.api import optimize
+from repro.core.api import OPTIMIZER_REGISTRY, optimize
 from repro.core.cost import CostWeights, CoverageCost
 from repro.core.perturbed import PerturbedOptions
 from repro.core.result import OptimizationResult
@@ -32,15 +32,27 @@ from repro.topology.model import Topology
 from repro.utils.rng import spawn_generators
 
 
+def _run_many_algorithms() -> List[str]:
+    """Registry methods ``run_many`` accepts: every seeded single-start
+    variant (multi-start has its own driver and draws its own portfolio)."""
+    return sorted(
+        name for name, spec in OPTIMIZER_REGISTRY.items()
+        if spec.accepts_seed and name != "multistart"
+    )
+
+
 def _run_one(task) -> OptimizationResult:
     """One ``run_many`` task; module-level so it pickles for processes."""
     algorithm, cost, iterations, trisection_rounds, rng = task
+    spec = OPTIMIZER_REGISTRY[algorithm]
+    fields = set(spec.options_class.__dataclass_fields__)
     options = {
         "max_iterations": iterations,
-        "trisection_rounds": trisection_rounds,
         "record_history": False,
     }
-    if algorithm == "perturbed":
+    if "trisection_rounds" in fields:
+        options["trisection_rounds"] = trisection_rounds
+    if "stall_limit" in fields:
         options["stall_limit"] = max(iterations, 1)
     return optimize(cost, method=algorithm, seed=rng, options=options)
 
@@ -55,18 +67,23 @@ def run_many(
     executor=None,
     transport=None,
 ) -> List[OptimizationResult]:
-    """Run ``algorithm`` (``"adaptive"`` or ``"perturbed"``) ``runs`` times.
+    """Run ``algorithm`` ``runs`` times with independent seeds.
 
-    Each run draws an independent random initial matrix (the paper's V2
-    recipe) from an independent RNG stream, so the result list does not
-    depend on which backend executes the runs.  History recording is off:
-    multi-run experiments only need the achieved costs.  ``transport``
-    selects the process backend's payload transport when ``executor``
-    names a backend (see :mod:`repro.exec.shm`).
+    ``algorithm`` may be any seeded single-start registry method
+    (``"adaptive"``, ``"mirror"``, ``"perturbed"``, ...); options that
+    the method does not declare — e.g. ``trisection_rounds`` for
+    ``"mirror"`` — are simply not passed.  Each run draws an
+    independent random initial matrix (the paper's V2 recipe) from an
+    independent RNG stream, so the result list does not depend on which
+    backend executes the runs.  History recording is off: multi-run
+    experiments only need the achieved costs.  ``transport`` selects
+    the process backend's payload transport when ``executor`` names a
+    backend (see :mod:`repro.exec.shm`).
     """
-    if algorithm not in ("adaptive", "perturbed"):
+    valid = _run_many_algorithms()
+    if algorithm not in valid:
         raise ValueError(
-            f"algorithm must be 'adaptive' or 'perturbed', got {algorithm!r}"
+            f"algorithm must be one of {valid}, got {algorithm!r}"
         )
     tasks = [
         (algorithm, cost, iterations, trisection_rounds, rng)

@@ -56,6 +56,26 @@ def payload_digest(data: bytes) -> str:
     return hashlib.new(DIGEST_ALGORITHM, data).hexdigest()
 
 
+def canonical_json(value) -> str:
+    """The canonical JSON encoding used for content addressing.
+
+    Sorted keys and no whitespace, so two value-equal structures encode
+    to identical bytes; floats use ``repr`` (via ``json``), which
+    round-trips doubles exactly.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def json_digest(value) -> str:
+    """Content digest of a JSON-serializable structure.
+
+    The digest of :func:`canonical_json`'s bytes — the cell identity
+    used by the sweep harness to deduplicate scenario cells and resume
+    interrupted sweeps (:mod:`repro.sweep`).
+    """
+    return payload_digest(canonical_json(value).encode("utf-8"))
+
+
 def topology_to_dict(topology: Topology) -> dict:
     """Serializable description of a topology.
 

@@ -1,0 +1,68 @@
+"""Sharded scenario sweeps: declarative grids, streaming resumable
+fan-out across executor backends, per-family Pareto aggregation.
+
+See ``docs/sweeps.md`` for the grid schema and resume semantics.
+"""
+
+from repro.sweep.aggregate import front_records, front_summary
+from repro.sweep.driver import (
+    SweepReport,
+    dedup_cells,
+    plan_shards,
+    run_sweep,
+)
+from repro.sweep.grid import (
+    CELL_SCHEMA,
+    GRID_SCHEMA,
+    SweepCell,
+    SweepGrid,
+    build_topology,
+    cell_digest,
+    cell_from_dict,
+    cell_to_dict,
+    grid_from_dict,
+    load_grid,
+    run_cell,
+    save_grid,
+    topology_key,
+    topology_label,
+)
+from repro.sweep.stream import (
+    ShardWriter,
+    completed_digests,
+    iter_sweep_records,
+    list_shards,
+    merge_shards,
+    read_records,
+    shard_path,
+)
+
+__all__ = [
+    "CELL_SCHEMA",
+    "GRID_SCHEMA",
+    "ShardWriter",
+    "SweepCell",
+    "SweepGrid",
+    "SweepReport",
+    "build_topology",
+    "cell_digest",
+    "cell_from_dict",
+    "cell_to_dict",
+    "completed_digests",
+    "dedup_cells",
+    "front_records",
+    "front_summary",
+    "grid_from_dict",
+    "iter_sweep_records",
+    "list_shards",
+    "load_grid",
+    "merge_shards",
+    "plan_shards",
+    "read_records",
+    "run_cell",
+    "run_sweep",
+    "save_grid",
+    "shard_path",
+    "topology_key",
+    "topology_label",
+]

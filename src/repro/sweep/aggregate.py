@@ -1,0 +1,69 @@
+"""Aggregation of streamed sweep records into per-family fronts.
+
+A sweep's deliverable is not the pile of cells but the tradeoff
+frontier each topology traces as the weights, methods, and seeds vary:
+for every topology label the non-dominated ``(Delta C, E-bar)`` pairs
+among its cells.  Records never need to be held per-shard — fronts fold
+associatively at ``tol = 0`` (see
+:func:`repro.analysis.pareto.merge_pareto_fronts`), so aggregation
+streams over :func:`repro.sweep.stream.iter_sweep_records` output in
+one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.analysis.pareto import pareto_front_indices
+from repro.sweep.grid import cell_from_dict, topology_label
+
+#: The record coordinates a front is computed over, both minimized.
+FRONT_METRICS = ("delta_c", "e_bar")
+
+
+def front_records(records: Iterable[dict]) -> Dict[str, List[dict]]:
+    """Group records by topology label and keep each group's front.
+
+    Returns ``{label: [record, ...]}`` with each group's records
+    restricted to its Pareto-efficient subset, ordered by coordinates
+    (ties by arrival order).  Input order otherwise does not matter.
+    """
+    groups: Dict[str, List[dict]] = {}
+    for record in records:
+        label = topology_label(cell_from_dict(record["cell"]))
+        groups.setdefault(label, []).append(record)
+    fronts: Dict[str, List[dict]] = {}
+    for label, members in sorted(groups.items()):
+        points = np.array(
+            [[member["result"][metric] for metric in FRONT_METRICS]
+             for member in members]
+        )
+        indices = pareto_front_indices(points)
+        fronts[label] = [members[i] for i in indices]
+    return fronts
+
+
+def front_summary(records: Iterable[dict]) -> Dict[str, List[dict]]:
+    """JSON-plain per-family front summary (the report artifact).
+
+    For each topology label: the front's coordinate pairs plus enough
+    cell identity (digest, weights, method, seed) to re-run any front
+    point standalone.
+    """
+    summary: Dict[str, List[dict]] = {}
+    for label, members in front_records(records).items():
+        summary[label] = [
+            {
+                "digest": record["digest"],
+                "delta_c": record["result"]["delta_c"],
+                "e_bar": record["result"]["e_bar"],
+                "alpha": record["cell"]["alpha"],
+                "beta": record["cell"]["beta"],
+                "method": record["cell"]["method"],
+                "seed": record["cell"]["seed"],
+            }
+            for record in members
+        ]
+    return summary

@@ -1,0 +1,160 @@
+"""Durable streaming of sweep records: append-only JSONL shards.
+
+Each shard is a ``shard-NNN.jsonl`` file in the sweep output directory.
+Records are written one canonical-JSON line at a time, each followed by
+``flush`` + ``fsync``, so a record either reaches the disk whole (with
+its trailing newline) or not at all from the reader's point of view: a
+partial trailing line — the footprint of a kill mid-write — is simply
+an incomplete record.  :class:`ShardWriter` truncates such a tail when
+it reopens the shard, and :func:`read_records` ignores it, which is the
+entire resume story: the set of completed cell digests on disk is
+exactly the set of whole lines.
+
+:func:`merge_shards` folds every shard into one canonical JSONL file
+sorted by cell digest — the artifact two sweeps are compared by when
+asserting that kill-and-resume loses and duplicates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+from typing import Dict, Iterator, List, Set
+
+from repro.persist import canonical_json
+
+SHARD_PATTERN = re.compile(r"^shard-(\d+)\.jsonl$")
+
+
+def shard_path(out_dir, shard: int) -> pathlib.Path:
+    """Path of shard ``shard`` inside ``out_dir``."""
+    return pathlib.Path(out_dir) / f"shard-{shard:03d}.jsonl"
+
+
+def list_shards(out_dir) -> List[pathlib.Path]:
+    """Existing shard files of a sweep directory, in shard order."""
+    directory = pathlib.Path(out_dir)
+    if not directory.is_dir():
+        return []
+    shards = [
+        path for path in directory.iterdir()
+        if SHARD_PATTERN.match(path.name)
+    ]
+    return sorted(shards)
+
+
+class ShardWriter:
+    """Append-only writer of one JSONL shard.
+
+    Opening repairs a partial trailing line left by a kill mid-write
+    (truncates back to the last newline), so appending always starts at
+    a record boundary.  Every :meth:`write_record` is flushed and
+    fsynced before returning — once the call returns, the record
+    survives any crash.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self.records_written = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_tail()
+        self._file = open(self.path, "ab")
+
+    def _repair_tail(self) -> None:
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return
+        with open(self.path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            data = handle.read(size)
+            keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+            handle.truncate(keep)
+
+    def write_record(self, record: dict) -> None:
+        """Append one record durably (canonical JSON + newline)."""
+        line = canonical_json(record).encode("utf-8") + b"\n"
+        self._file.write(line)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_records(path) -> Iterator[dict]:
+    """Iterate the whole records of one shard file.
+
+    A partial trailing line (no newline — a killed write) is skipped.
+    A malformed line *before* the tail means the file was corrupted by
+    something other than a mid-write kill, and raises.
+    """
+    path = pathlib.Path(path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = data.split(b"\n")
+    tail = lines.pop()  # b"" when the file ends with a newline
+    for number, line in enumerate(lines, start=1):
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{number}: corrupt record (not a killed "
+                f"trailing write): {exc}"
+            ) from exc
+    # ``tail`` is deliberately dropped: it is the footprint of a kill
+    # mid-write and the cell it described was never marked complete.
+
+
+def iter_sweep_records(out_dir) -> Iterator[dict]:
+    """Iterate every whole record of every shard, in shard order."""
+    for shard in list_shards(out_dir):
+        yield from read_records(shard)
+
+
+def completed_digests(out_dir) -> Set[str]:
+    """Cell digests already completed in a sweep directory."""
+    return {record["digest"] for record in iter_sweep_records(out_dir)}
+
+
+def merge_shards(out_dir, path) -> int:
+    """Write every shard record to ``path``, sorted by cell digest.
+
+    The canonical merged artifact: two sweep directories hold the same
+    completed work iff their merged files are byte-identical.  Written
+    atomically (temp file + rename).  Returns the record count; raises
+    on duplicate digests (a duplicated cell is a sweep bug, never an
+    artifact of resume).
+    """
+    by_digest: Dict[str, dict] = {}
+    for record in iter_sweep_records(out_dir):
+        digest = record["digest"]
+        if digest in by_digest:
+            raise ValueError(
+                f"duplicate cell digest across shards: {digest}"
+            )
+        by_digest[digest] = record
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        for digest in sorted(by_digest):
+            handle.write(
+                canonical_json(by_digest[digest]).encode("utf-8") + b"\n"
+            )
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return len(by_digest)

@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the generic Pareto-front
+arithmetic in :mod:`repro.analysis.pareto` — the invariants the sweep
+aggregator leans on."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import (
+    dominates_point,
+    merge_pareto_fronts,
+    pareto_front_indices,
+    pareto_front_mask,
+)
+
+SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+points_strategy = st.integers(0, 10_000).flatmap(
+    lambda seed: st.tuples(
+        st.just(seed), st.integers(1, 40), st.integers(1, 4)
+    )
+)
+tol_strategy = st.sampled_from([0.0, 1e-9, 1e-3, 0.1])
+
+
+def _points(seed, count, dims):
+    rng = np.random.default_rng(seed)
+    # half-integer grid coordinates make exact ties common, which is
+    # where dominance logic usually goes wrong
+    return rng.integers(0, 6, size=(count, dims)) / 2.0
+
+
+@SETTINGS
+@given(spec=points_strategy, tol=tol_strategy)
+def test_front_is_mutually_non_dominating(spec, tol):
+    points = _points(*spec)
+    front = points[pareto_front_mask(points, tol)]
+    for i in range(len(front)):
+        for j in range(len(front)):
+            if i != j:
+                assert not dominates_point(front[i], front[j], tol)
+
+
+@SETTINGS
+@given(spec=points_strategy, tol=tol_strategy)
+def test_dominance_is_antisymmetric(spec, tol):
+    points = _points(*spec)
+    for a in points:
+        for b in points:
+            assert not (
+                dominates_point(a, b, tol) and dominates_point(b, a, tol)
+            )
+
+
+@SETTINGS
+@given(spec=points_strategy, tol=tol_strategy)
+def test_every_dropped_point_is_dominated(spec, tol):
+    points = _points(*spec)
+    mask = pareto_front_mask(points, tol)
+    for i in np.nonzero(~mask)[0]:
+        assert any(
+            dominates_point(points[j], points[i], tol)
+            for j in range(len(points))
+        )
+
+
+@SETTINGS
+@given(spec=points_strategy, shards=st.integers(1, 5))
+def test_merged_shard_fronts_equal_front_of_union(spec, shards):
+    """The associativity the sweep aggregator relies on (tol = 0):
+    filtering per shard first and merging loses nothing."""
+    points = _points(*spec)
+    union_front = points[pareto_front_indices(points)]
+    chunks = np.array_split(points, shards)
+    shard_fronts = [
+        chunk[pareto_front_mask(chunk)] for chunk in chunks if len(chunk)
+    ]
+    merged = merge_pareto_fronts(shard_fronts)
+    assert merged.shape == union_front.shape
+    assert np.array_equal(merged, union_front)
+
+
+@SETTINGS
+@given(spec=points_strategy)
+def test_front_indices_deterministic_and_sorted(spec):
+    points = _points(*spec)
+    first = pareto_front_indices(points)
+    second = pareto_front_indices(points)
+    assert np.array_equal(first, second)
+    coords = points[first]
+    keys = [tuple(row) + (int(index),)
+            for row, index in zip(coords, first)]
+    assert keys == sorted(keys)
+
+
+def test_merge_of_nothing_is_empty():
+    assert merge_pareto_fronts([]).shape == (0, 2)
+    assert merge_pareto_fronts([np.zeros((0, 3))]).shape == (0, 2)
+
+
+def test_single_point_survives():
+    points = np.array([[1.0, 2.0]])
+    assert pareto_front_mask(points).tolist() == [True]

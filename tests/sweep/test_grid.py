@@ -1,0 +1,173 @@
+"""Grid expansion, cell digests, validation, and run_cell round trips."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    GRID_SCHEMA,
+    SweepGrid,
+    cell_digest,
+    cell_from_dict,
+    cell_to_dict,
+    grid_from_dict,
+    load_grid,
+    save_grid,
+    topology_key,
+    topology_label,
+)
+
+
+def _grid(**overrides):
+    base = dict(
+        topologies=(
+            {"family": "paper", "sizes": [1, 2]},
+            {"family": "city-grid", "sizes": [16],
+             "phi": [{"kind": "uniform"},
+                     {"kind": "dirichlet", "alpha": 2.0, "seed": 7}]},
+        ),
+        weights=({"alpha": 1.0, "beta": 0.01},),
+        methods=("adaptive",),
+        seeds=(0, 1),
+        iterations=4,
+    )
+    base.update(overrides)
+    return SweepGrid(**base)
+
+
+class TestExpansion:
+    def test_cell_count_is_product_of_axes(self):
+        cells = _grid().expand()
+        # (2 paper sizes * 1 profile + 1 size * 2 profiles) * 1 weight
+        # * 1 method * 2 seeds
+        assert len(cells) == (2 + 2) * 1 * 1 * 2
+
+    def test_expansion_order_is_deterministic(self):
+        first = [cell_digest(c) for c in _grid().expand()]
+        second = [cell_digest(c) for c in _grid().expand()]
+        assert first == second
+
+    def test_digests_unique_across_distinct_cells(self):
+        digests = [cell_digest(c) for c in _grid().expand()]
+        assert len(set(digests)) == len(digests)
+
+    def test_overlapping_axes_produce_identical_digests(self):
+        doubled = _grid(
+            topologies=(
+                {"family": "paper", "sizes": [1]},
+                {"family": "paper", "sizes": [1]},
+            ),
+            seeds=(0,),
+        ).expand()
+        assert len(doubled) == 2
+        assert cell_digest(doubled[0]) == cell_digest(doubled[1])
+
+    def test_paper_profile_is_implicit(self):
+        cells = _grid(
+            topologies=({"family": "paper", "sizes": [3]},), seeds=(0,)
+        ).expand()
+        assert cells[0].phi == "paper"
+
+    def test_scalable_defaults_to_uniform_phi(self):
+        cells = _grid(
+            topologies=({"family": "city-grid", "sizes": [16]},),
+            seeds=(0,),
+        ).expand()
+        assert cells[0].phi == "uniform"
+
+    def test_digest_changes_with_linalg(self):
+        auto = _grid().expand()[0]
+        dense = _grid().with_linalg("dense").expand()[0]
+        assert cell_digest(auto) != cell_digest(dense)
+
+
+class TestTopologyGrouping:
+    def test_key_ignores_weights_methods_seeds(self):
+        cells = _grid().expand()
+        keys = {topology_key(c) for c in cells}
+        # 2 paper ids + 2 city-grid profiles
+        assert len(keys) == 4
+
+    def test_labels_are_human_readable(self):
+        labels = {topology_label(c) for c in _grid().expand()}
+        assert "paper-1" in labels
+        assert "city-grid-16/uniform" in labels
+        assert any(lab.startswith("city-grid-16/dirichlet")
+                   for lab in labels)
+
+
+class TestValidation:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            _grid(methods=("gradient-descent",))
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            _grid(topologies=({"family": "torus", "sizes": [4]},))
+
+    def test_paper_sizes_must_be_topology_ids(self):
+        with pytest.raises(ValueError, match="topology ids"):
+            _grid(topologies=({"family": "paper", "sizes": [99]},))
+
+    def test_paper_rejects_phi_profiles(self):
+        with pytest.raises(ValueError, match="fixed target shares"):
+            _grid(topologies=(
+                {"family": "paper", "sizes": [1],
+                 "phi": [{"kind": "uniform"}]},
+            ))
+
+    def test_dirichlet_needs_alpha(self):
+        with pytest.raises(ValueError, match="need alpha"):
+            _grid(topologies=(
+                {"family": "city-grid", "sizes": [16],
+                 "phi": [{"kind": "dirichlet"}]},
+            ))
+
+    def test_unknown_weights_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown weights keys"):
+            _grid(weights=({"alpha": 1.0, "beta": 0.1, "gamma": 2.0},))
+
+    def test_bad_linalg_rejected(self):
+        with pytest.raises(ValueError, match="linalg"):
+            _grid(linalg="gpu")
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            _grid(seeds=())
+
+    def test_cell_dict_round_trip(self):
+        cell = _grid().expand()[0]
+        assert cell_from_dict(cell_to_dict(cell)) == cell
+
+    def test_cell_from_dict_rejects_unknown_fields(self):
+        data = cell_to_dict(_grid().expand()[0])
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown cell fields"):
+            cell_from_dict(data)
+
+
+class TestGridSerialization:
+    def test_json_round_trip_preserves_digests(self, tmp_path):
+        grid = _grid()
+        path = tmp_path / "grid.json"
+        save_grid(grid, path)
+        loaded = load_grid(path)
+        assert (
+            [cell_digest(c) for c in loaded.expand()]
+            == [cell_digest(c) for c in grid.expand()]
+        )
+
+    def test_schema_tag_required(self):
+        data = _grid().to_dict()
+        data["schema"] = "repro/sweep-grid/v0"
+        with pytest.raises(ValueError, match=GRID_SCHEMA.replace("/", ".")):
+            grid_from_dict(data)
+
+    def test_unknown_grid_keys_rejected(self):
+        data = _grid().to_dict()
+        data["parallelism"] = 8
+        with pytest.raises(ValueError, match="unknown grid keys"):
+            grid_from_dict(data)
+
+    def test_to_dict_is_json_plain(self):
+        json.dumps(_grid().to_dict())

@@ -1,0 +1,141 @@
+"""Shard durability: fsynced appends, tail repair, canonical merges."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    ShardWriter,
+    completed_digests,
+    iter_sweep_records,
+    list_shards,
+    merge_shards,
+    read_records,
+    shard_path,
+)
+
+
+def _record(digest, value=0.0):
+    return {"schema": "repro/sweep-cell/v1", "digest": digest,
+            "cell": {}, "result": {"u_eps": value}}
+
+
+class TestShardWriter:
+    def test_round_trip(self, tmp_path):
+        path = shard_path(tmp_path, 0)
+        with ShardWriter(path) as writer:
+            writer.write_record(_record("a" * 64, 1.0))
+            writer.write_record(_record("b" * 64, 2.0))
+            assert writer.records_written == 2
+        records = list(read_records(path))
+        assert [r["digest"] for r in records] == ["a" * 64, "b" * 64]
+
+    def test_append_across_reopens(self, tmp_path):
+        path = shard_path(tmp_path, 0)
+        with ShardWriter(path) as writer:
+            writer.write_record(_record("a" * 64))
+        with ShardWriter(path) as writer:
+            writer.write_record(_record("b" * 64))
+        assert len(list(read_records(path))) == 2
+
+    def test_partial_tail_ignored_by_reader(self, tmp_path):
+        path = shard_path(tmp_path, 0)
+        with ShardWriter(path) as writer:
+            writer.write_record(_record("a" * 64))
+        with open(path, "ab") as handle:
+            handle.write(b'{"digest": "killed-mid-wri')  # no newline
+        records = list(read_records(path))
+        assert [r["digest"] for r in records] == ["a" * 64]
+
+    def test_partial_tail_truncated_on_reopen(self, tmp_path):
+        path = shard_path(tmp_path, 0)
+        with ShardWriter(path) as writer:
+            writer.write_record(_record("a" * 64))
+        with open(path, "ab") as handle:
+            handle.write(b'{"digest": "killed')
+        with ShardWriter(path) as writer:
+            writer.write_record(_record("b" * 64))
+        records = list(read_records(path))
+        assert [r["digest"] for r in records] == ["a" * 64, "b" * 64]
+
+    def test_tail_only_file_truncates_to_empty(self, tmp_path):
+        path = shard_path(tmp_path, 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"{nonsense")
+        with ShardWriter(path) as writer:
+            writer.write_record(_record("a" * 64))
+        assert [r["digest"] for r in read_records(path)] == ["a" * 64]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = shard_path(tmp_path, 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not json\n" + json.dumps(_record("a" * 64)).encode() + b"\n")
+        with pytest.raises(ValueError, match="corrupt record"):
+            list(read_records(path))
+
+
+class TestSweepDirectory:
+    def test_list_shards_sorted_and_filtered(self, tmp_path):
+        for shard in (2, 0, 1):
+            with ShardWriter(shard_path(tmp_path, shard)) as writer:
+                writer.write_record(_record(str(shard) * 64))
+        (tmp_path / "notes.txt").write_text("ignore me")
+        names = [p.name for p in list_shards(tmp_path)]
+        assert names == ["shard-000.jsonl", "shard-001.jsonl",
+                         "shard-002.jsonl"]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert list_shards(tmp_path / "nope") == []
+        assert completed_digests(tmp_path / "nope") == set()
+
+    def test_completed_digests_spans_shards(self, tmp_path):
+        with ShardWriter(shard_path(tmp_path, 0)) as writer:
+            writer.write_record(_record("a" * 64))
+        with ShardWriter(shard_path(tmp_path, 1)) as writer:
+            writer.write_record(_record("b" * 64))
+        assert completed_digests(tmp_path) == {"a" * 64, "b" * 64}
+
+    def test_merge_sorted_by_digest_and_atomic(self, tmp_path):
+        with ShardWriter(shard_path(tmp_path, 0)) as writer:
+            writer.write_record(_record("b" * 64, 2.0))
+        with ShardWriter(shard_path(tmp_path, 1)) as writer:
+            writer.write_record(_record("a" * 64, 1.0))
+        target = tmp_path / "merged.jsonl"
+        assert merge_shards(tmp_path, target) == 2
+        digests = [json.loads(line)["digest"]
+                   for line in target.read_bytes().splitlines()]
+        assert digests == ["a" * 64, "b" * 64]
+        assert not (tmp_path / "merged.jsonl.tmp").exists()
+
+    def test_merge_rejects_duplicate_digests(self, tmp_path):
+        for shard in (0, 1):
+            with ShardWriter(shard_path(tmp_path, shard)) as writer:
+                writer.write_record(_record("a" * 64))
+        with pytest.raises(ValueError, match="duplicate cell digest"):
+            merge_shards(tmp_path, tmp_path / "merged.jsonl")
+
+    def test_shard_layout_independent_merge(self, tmp_path):
+        one = tmp_path / "one"
+        two = tmp_path / "two"
+        records = [_record("a" * 64, 1.0), _record("b" * 64, 2.0),
+                   _record("c" * 64, 3.0)]
+        with ShardWriter(shard_path(one, 0)) as writer:
+            for record in records:
+                writer.write_record(record)
+        for shard, record in enumerate(reversed(records)):
+            with ShardWriter(shard_path(two, shard)) as writer:
+                writer.write_record(record)
+        merge_shards(one, tmp_path / "one.jsonl")
+        merge_shards(two, tmp_path / "two.jsonl")
+        assert (
+            (tmp_path / "one.jsonl").read_bytes()
+            == (tmp_path / "two.jsonl").read_bytes()
+        )
+
+    def test_iter_sweep_records_in_shard_order(self, tmp_path):
+        with ShardWriter(shard_path(tmp_path, 1)) as writer:
+            writer.write_record(_record("b" * 64))
+        with ShardWriter(shard_path(tmp_path, 0)) as writer:
+            writer.write_record(_record("a" * 64))
+        digests = [r["digest"] for r in iter_sweep_records(tmp_path)]
+        assert digests == ["a" * 64, "b" * 64]

@@ -27,7 +27,8 @@ class TestPublicSurface:
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.markov", "repro.geometry",
         "repro.topology", "repro.simulation", "repro.baselines",
-        "repro.experiments", "repro.utils",
+        "repro.experiments", "repro.utils", "repro.exec",
+        "repro.sweep",
     ])
     def test_subpackages_importable(self, module):
         imported = importlib.import_module(module)

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Validate the shard records of one or more sweep directories.
+
+For every ``shard-*.jsonl`` in each given directory, every whole record
+must:
+
+* carry the ``repro/sweep-cell/v1`` schema tag,
+* carry a 64-hex-digit ``digest`` that matches the digest recomputed
+  from its ``cell`` (the resume identity — a mismatch means records
+  and cells have drifted apart and resume would mis-skip),
+* round-trip its ``cell`` through :class:`repro.sweep.SweepCell`,
+* carry the full numeric ``result`` key set.
+
+Across all shards of one directory, no digest may appear twice (a
+duplicated cell is a sweep bug, never an artifact of resume).  Partial
+trailing lines are fine — they are the footprint of a killed write and
+are exactly what resume ignores.  Run from anywhere::
+
+    python tools/check_sweep_schema.py SWEEP_DIR [SWEEP_DIR ...]
+
+Exit status is nonzero if any record violates the schema, with one
+line per offender.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.sweep import (  # noqa: E402
+    CELL_SCHEMA,
+    cell_digest,
+    cell_from_dict,
+    list_shards,
+    read_records,
+)
+
+DIGEST = re.compile(r"^[0-9a-f]{64}$")
+
+#: Required ``result`` keys and the types their values must satisfy.
+RESULT_KEYS = {
+    "u": (int, float),
+    "u_eps": (int, float),
+    "best_u_eps": (int, float),
+    "delta_c": (int, float),
+    "e_bar": (int, float),
+    "iterations": (int,),
+    "converged": (bool,),
+    "stop_reason": (str,),
+}
+
+
+def check_record(record: dict, where: str) -> list:
+    """Problems with one record (empty list when it is valid)."""
+    problems = []
+    if record.get("schema") != CELL_SCHEMA:
+        problems.append(
+            f"{where}: schema {record.get('schema')!r} != {CELL_SCHEMA!r}"
+        )
+    digest = record.get("digest")
+    if not isinstance(digest, str) or not DIGEST.match(digest):
+        problems.append(f"{where}: malformed digest {digest!r}")
+        return problems
+    try:
+        cell = cell_from_dict(record["cell"])
+    except (KeyError, TypeError, ValueError) as exc:
+        problems.append(f"{where}: bad cell: {exc}")
+        return problems
+    recomputed = cell_digest(cell)
+    if recomputed != digest:
+        problems.append(
+            f"{where}: digest {digest} does not match the cell "
+            f"(recomputed {recomputed})"
+        )
+    result = record.get("result")
+    if not isinstance(result, dict):
+        problems.append(f"{where}: missing result mapping")
+        return problems
+    for key, types in RESULT_KEYS.items():
+        value = result.get(key)
+        # bool is an int subclass; an int-typed key must not be a bool
+        if not isinstance(value, types) or (
+            bool not in types and isinstance(value, bool)
+        ):
+            problems.append(
+                f"{where}: result[{key!r}] = {value!r} is not "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
+    return problems
+
+
+def check_directory(directory: Path) -> list:
+    """Problems across every shard of one sweep directory."""
+    problems = []
+    shards = list_shards(directory)
+    if not shards:
+        problems.append(f"{directory}: no shard-*.jsonl files")
+        return problems
+    seen = {}
+    for shard in shards:
+        try:
+            records = list(read_records(shard))
+        except ValueError as exc:
+            problems.append(str(exc))
+            continue
+        for number, record in enumerate(records, start=1):
+            where = f"{shard}:{number}"
+            problems.extend(check_record(record, where))
+            digest = record.get("digest")
+            if digest in seen:
+                problems.append(
+                    f"{where}: digest {digest} already written at "
+                    f"{seen[digest]}"
+                )
+            else:
+                seen[digest] = where
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if not argv:
+        print(
+            "usage: check_sweep_schema.py SWEEP_DIR [SWEEP_DIR ...]",
+            file=sys.stderr,
+        )
+        return 2
+    problems = []
+    for name in argv:
+        problems.extend(check_directory(Path(name)))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} schema violation(s)", file=sys.stderr)
+        return 1
+    print("sweep schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
