@@ -25,25 +25,36 @@ Quickstart::
 
 from repro.core import (
     OPTIMIZER_REGISTRY,
+    TERM_REGISTRY,
     AdaptiveOptions,
     BasicDescentOptions,
     ChainState,
     CostBreakdown,
+    CostSum,
+    CostTerm,
     CostWeights,
     CoverageCost,
     IterationRecord,
+    KCoverageShortfallTerm,
     MirrorOptions,
     MultiRayBatch,
     MultiStartResult,
     OptimizationResult,
     OptimizerOptions,
     OptimizerSpec,
+    PeriodicityTerm,
     PerturbedOptions,
+    ScaledTerm,
     SearchOptions,
+    TermBatch,
+    TermSpec,
+    WorstExposureTerm,
+    build_term,
     coerce_options,
     damped_baseline_matrix,
     dirichlet_matrix,
     lockstep_multistart,
+    normalize_extra_terms,
     optimize,
     optimize_adaptive,
     optimize_basic,
@@ -123,6 +134,18 @@ __all__ = [
     "OptimizerOptions",
     "SearchOptions",
     "coerce_options",
+    # cost-term registry
+    "CostTerm",
+    "TermBatch",
+    "TermSpec",
+    "TERM_REGISTRY",
+    "CostSum",
+    "ScaledTerm",
+    "build_term",
+    "normalize_extra_terms",
+    "WorstExposureTerm",
+    "KCoverageShortfallTerm",
+    "PeriodicityTerm",
     # exec
     "BACKENDS",
     "Executor",

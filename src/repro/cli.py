@@ -32,6 +32,7 @@ from repro.analysis.pareto import pareto_filter, tradeoff_curve
 from repro.exec import BACKENDS, TRANSPORTS, using_executor
 from repro.core.api import OPTIMIZER_REGISTRY, optimize
 from repro.core.cost import LINALG_MODES, CostWeights, CoverageCost
+from repro.core.registry import TERM_REGISTRY, normalize_extra_terms
 from repro.simulation.engine import (
     ENGINES,
     SimulationOptions,
@@ -119,6 +120,60 @@ def _add_parallel_flags(parser) -> None:
     )
 
 
+def _add_term_flags(parser) -> None:
+    parser.add_argument(
+        "--terms", default=None, metavar="NAME[,NAME...]",
+        help=(
+            "compose extra cost terms from repro.TERM_REGISTRY "
+            "(e.g. 'minimax,periodicity'; registered: "
+            + ", ".join(TERM_REGISTRY) + "; see docs/objectives.md)"
+        ),
+    )
+    parser.add_argument(
+        "--weights", default=None, metavar="W[,W...]",
+        help=(
+            "weights for --terms, one per name (default: 1.0 each); "
+            "requires --terms"
+        ),
+    )
+
+
+def _parse_term_flags(args):
+    """The ``(name, weight)`` composition from ``--terms``/``--weights``.
+
+    Returns ``None`` when no ``--terms`` was given, so callers can
+    distinguish "no override" from an explicit composition.
+    """
+    terms_arg = getattr(args, "terms", None)
+    weights_arg = getattr(args, "weights", None)
+    if terms_arg is None:
+        if weights_arg is not None:
+            raise SystemExit("--weights requires --terms")
+        return None
+    names = [name.strip() for name in terms_arg.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("--terms must name at least one registered term")
+    if weights_arg is None:
+        weights = [1.0] * len(names)
+    else:
+        try:
+            weights = [float(w) for w in weights_arg.split(",")]
+        except ValueError:
+            raise SystemExit(
+                f"--weights must be comma-separated numbers, "
+                f"got {weights_arg!r}"
+            )
+        if len(weights) != len(names):
+            raise SystemExit(
+                f"--weights lists {len(weights)} value(s) for "
+                f"{len(names)} term(s)"
+            )
+    try:
+        return list(normalize_extra_terms(list(zip(names, weights))))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def _executor_spec(args):
     """The ``(backend, jobs, transport)`` triple from the command line."""
     jobs = getattr(args, "jobs", None)
@@ -178,7 +233,11 @@ def _cmd_optimize(args) -> int:
         energy_target=args.energy_target,
         entropy_weight=args.entropy_weight,
     )
-    cost = CoverageCost(topology, weights, linalg=args.linalg)
+    extra_terms = _parse_term_flags(args)
+    cost = CoverageCost(
+        topology, weights, linalg=args.linalg,
+        extra_terms=extra_terms or (),
+    )
     method = args.method
     spec = OPTIMIZER_REGISTRY[method]
     options = {"max_iterations": args.iterations}
@@ -295,6 +354,11 @@ def _cmd_sweep(args) -> int:
         # Applied before expansion so every cell digest carries the
         # override — a different linalg backend is different work.
         grid = grid.with_linalg(args.linalg)
+    terms = _parse_term_flags(args)
+    if terms is not None:
+        # Same rule: a different objective composition is different
+        # work, so the override lands in every cell digest.
+        grid = grid.with_terms(terms)
     backend, jobs, transport = _executor_spec(args)
     report = run_sweep(
         grid,
@@ -426,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
             "large enough; default)"
         ),
     )
+    _add_term_flags(p_opt)
     p_opt.add_argument("--iterations", type=int, default=400)
     p_opt.add_argument(
         "--step-size", type=float, default=1e-6,
@@ -533,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
             "expansion (changes every cell digest)"
         ),
     )
+    _add_term_flags(p_sw)
     _add_parallel_flags(p_sw)
     p_sw.set_defaults(handler=_cmd_sweep)
 

@@ -4,7 +4,11 @@ The pieces map one-to-one onto the paper's sections:
 
 * :mod:`repro.core.state` — per-iterate cache of ``(P, pi, Z, R)``.
 * :mod:`repro.core.terms` — objective terms (coverage deviation, exposure,
-  energy, entropy) with analytic partials w.r.t. ``(pi, Z, P)``.
+  energy, entropy, plus plugin terms) with analytic partials w.r.t.
+  ``(pi, Z, P)`` behind the :class:`~repro.core.terms.CostTerm` protocol.
+* :mod:`repro.core.registry` — the :data:`~repro.core.registry.TERM_REGISTRY`
+  of composable cost terms and the weighted
+  :class:`~repro.core.registry.CostSum` composer.
 * :mod:`repro.core.penalty` — the log-barrier of Eq. (9).
 * :mod:`repro.core.cost` — the assembled cost ``U_eps`` and the paper's
   reporting metrics ``Delta C`` (Eq. 12) and ``E-bar`` (Eq. 13).
@@ -15,6 +19,21 @@ The pieces map one-to-one onto the paper's sections:
 """
 
 from repro.core.state import ChainState
+from repro.core.terms import (
+    CostTerm,
+    KCoverageShortfallTerm,
+    PeriodicityTerm,
+    TermBatch,
+    WorstExposureTerm,
+)
+from repro.core.registry import (
+    TERM_REGISTRY,
+    CostSum,
+    ScaledTerm,
+    TermSpec,
+    build_term,
+    normalize_extra_terms,
+)
 from repro.core.cost import (
     LINALG_MODES,
     CostBreakdown,
@@ -50,6 +69,17 @@ from repro.core.api import OPTIMIZER_REGISTRY, OptimizerSpec, optimize
 
 __all__ = [
     "ChainState",
+    "CostTerm",
+    "TermBatch",
+    "TermSpec",
+    "TERM_REGISTRY",
+    "CostSum",
+    "ScaledTerm",
+    "build_term",
+    "normalize_extra_terms",
+    "WorstExposureTerm",
+    "KCoverageShortfallTerm",
+    "PeriodicityTerm",
     "CostBreakdown",
     "CostWeights",
     "CoverageCost",

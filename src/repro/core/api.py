@@ -113,6 +113,7 @@ def optimize(
     options=None,
     execution=None,
     linalg: Optional[str] = None,
+    terms=None,
     **kwargs,
 ):
     """Run the optimizer variant named ``method`` on ``cost``.
@@ -148,6 +149,15 @@ def optimize(
         linear-algebra backend for this run via
         :meth:`CoverageCost.with_linalg`.  ``None`` (default) keeps the
         cost's own setting.
+    terms:
+        Plugin cost terms to compose for this run via
+        :meth:`CoverageCost.with_extra_terms` — anything
+        :func:`~repro.core.registry.normalize_extra_terms` accepts: a
+        ``{name: weight}`` mapping or a sequence of names /
+        ``(name, weight)`` / ``(name, weight, params)`` entries naming
+        :data:`~repro.core.registry.TERM_REGISTRY` members (see
+        ``docs/objectives.md``).  ``None`` (default) keeps the cost's
+        own composition.
     **kwargs:
         Method-specific keywords (e.g. ``random_starts`` for
         ``"multistart"``); anything the method does not declare raises
@@ -161,6 +171,8 @@ def optimize(
     """
     if linalg is not None:
         cost = cost.with_linalg(linalg)
+    if terms is not None:
+        cost = cost.with_extra_terms(terms)
     try:
         spec = OPTIMIZER_REGISTRY[method]
     except KeyError:

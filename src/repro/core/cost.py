@@ -21,15 +21,14 @@ import numpy as np
 
 from repro.core.gradient import projected_gradient, total_derivative
 from repro.core.penalty import BarrierPenalty
-from repro.core.state import ChainState
-from repro.core.terms import (
-    CoverageDeviationTerm,
-    EnergyTerm,
-    EntropyTerm,
-    ExposureTerm,
-    ObjectiveTerm,
-    SupportCoverageTerm,
+from repro.core.registry import (
+    TERM_REGISTRY,
+    CostSum,
+    build_term,
+    normalize_extra_terms,
 )
+from repro.core.state import ChainState
+from repro.core.terms import EnergyTerm, EntropyTerm, ObjectiveTerm, TermBatch
 from repro.markov.sparse import (
     HAVE_SPARSE,
     SparseStationaryTemplate,
@@ -123,6 +122,9 @@ class CostBreakdown:
     e_bar: float
     coverage_shares: np.ndarray
     exposure_times: np.ndarray
+    #: ``(name, value)`` pairs for the cost's plugin terms, in
+    #: composition order; empty for the paper's bare objective.
+    extra_values: tuple = ()
 
 
 class CoverageCost:
@@ -139,6 +141,19 @@ class CoverageCost:
     gets the support-aware term set: the compact ``O(E)`` coverage term
     instead of the ``O(M^3)`` tensor, a barrier restricted to feasible
     transitions, and support-preserving gradient projections.
+
+    The objective itself is a :class:`~repro.core.registry.CostSum`
+    composition: the paper's terms are built through their
+    :data:`~repro.core.registry.TERM_REGISTRY` factories (support-aware
+    coverage, exposure, the barrier, plus the Section VII extensions
+    when their weights are positive), and ``extra_terms`` appends any
+    further registered terms — specified as anything
+    :func:`~repro.core.registry.normalize_extra_terms` accepts — to the
+    composition.  Extra terms must implement
+    :meth:`~repro.core.terms.CostTerm.batch_value`; the batched and
+    lockstep line-search paths evaluate them on whole probe stacks, so
+    a scalar-only term is rejected at construction rather than failing
+    mid-run.
     """
 
     def __init__(
@@ -146,46 +161,61 @@ class CoverageCost:
         topology: Topology,
         weights: CostWeights,
         linalg: str = "auto",
+        extra_terms=(),
     ) -> None:
         self.topology = topology
         self.weights = weights
         self.linalg = linalg
         self.resolved_linalg = resolve_linalg(linalg, topology)
-        size = topology.size
+        self.extra_terms = normalize_extra_terms(extra_terms)
         travel = topology.travel_times
         self._support = topology.adjacency  # None for dense topologies
-        if self._support is not None:
-            self._passby = None
-            self._coverage = SupportCoverageTerm(
-                travel_times=travel,
-                entries=topology.passby_entries(),
-                target_shares=topology.target_shares,
-                alpha=weights.alpha,
-                support=self._support,
-            )
-        else:
-            passby = topology.passby
-            self._passby = passby
-            self._coverage = CoverageDeviationTerm(
-                travel_times=travel,
-                passby=passby,
-                target_shares=topology.target_shares,
-                alpha=weights.alpha,
-            )
-        self._exposure = ExposureTerm(beta=weights.beta, size=size)
+        self._passby = None if self._support is not None else topology.passby
+        self._coverage = TERM_REGISTRY["coverage"].factory(
+            topology, weights.alpha
+        )
+        self._exposure = TERM_REGISTRY["exposure"].factory(
+            topology, weights.beta
+        )
         self._penalty = BarrierPenalty(
             epsilon=weights.epsilon, support=self._support
         )
         self._energy: Optional[EnergyTerm] = None
         if weights.energy_weight > 0:
-            self._energy = EnergyTerm(
-                distances=topology.distances,
-                weight=weights.energy_weight,
+            self._energy = TERM_REGISTRY["energy"].factory(
+                topology, weights.energy_weight,
                 target=weights.energy_target,
             )
         self._entropy: Optional[EntropyTerm] = None
         if weights.entropy_weight > 0:
-            self._entropy = EntropyTerm(weight=weights.entropy_weight)
+            self._entropy = TERM_REGISTRY["entropy"].factory(
+                topology, weights.entropy_weight
+            )
+        self._extra = tuple(
+            build_term(name, topology, weight, **dict(params))
+            for name, weight, params in self.extra_terms
+        )
+        for (name, _, _), term in zip(self.extra_terms, self._extra):
+            if not term.supports_batch:
+                raise ValueError(
+                    f"term {name!r} ({type(term).__name__}) does not "
+                    "implement batch_value; the batched/lockstep "
+                    "evaluators cannot compose it into a CoverageCost"
+                )
+        entries = [
+            ("coverage", 1.0, self._coverage),
+            ("exposure", 1.0, self._exposure),
+            ("penalty", 1.0, self._penalty),
+        ]
+        if self._energy is not None:
+            entries.append(("energy", 1.0, self._energy))
+        if self._entropy is not None:
+            entries.append(("entropy", 1.0, self._entropy))
+        entries.extend(
+            (name, 1.0, term)
+            for (name, _, _), term in zip(self.extra_terms, self._extra)
+        )
+        self._sum = CostSum(entries)
         self._travel = travel
         self._tracker = None  # lazily-built IncrementalCoreTracker
         self._stationary_template = None  # lazily-built, sparse mode
@@ -195,16 +225,20 @@ class CoverageCost:
     # ------------------------------------------------------------------ #
 
     @property
+    def term_sum(self) -> CostSum:
+        """The objective as a :class:`~repro.core.registry.CostSum`."""
+        return self._sum
+
+    @property
     def terms(self) -> List[ObjectiveTerm]:
-        """All active terms, barrier included (the ``U_eps`` objective)."""
-        terms: List[ObjectiveTerm] = [
-            self._coverage, self._exposure, self._penalty,
-        ]
-        if self._energy is not None:
-            terms.append(self._energy)
-        if self._entropy is not None:
-            terms.append(self._entropy)
-        return terms
+        """All active terms, barrier included (the ``U_eps`` objective).
+
+        Composition order: coverage, exposure, barrier, the enabled
+        Section VII extensions, then any ``extra_terms`` plugins.  The
+        gradient engine iterates this list, so plugin partials flow
+        through the same Schweitzer adjoints as the paper's terms.
+        """
+        return self._sum.members()
 
     @property
     def size(self) -> int:
@@ -225,7 +259,29 @@ class CoverageCost:
         """
         if linalg is None or linalg == self.linalg:
             return self
-        return CoverageCost(self.topology, self.weights, linalg=linalg)
+        return CoverageCost(
+            self.topology, self.weights, linalg=linalg,
+            extra_terms=self.extra_terms,
+        )
+
+    def with_extra_terms(self, terms) -> "CoverageCost":
+        """This cost with another plugin-term composition.
+
+        ``None`` (or the current composition) returns ``self``
+        unchanged — the facade's ``terms=`` threading never perturbs an
+        already-configured cost; anything else replaces the extra-term
+        list wholesale (normalized via
+        :func:`~repro.core.registry.normalize_extra_terms`).
+        """
+        if terms is None:
+            return self
+        normalized = normalize_extra_terms(terms)
+        if normalized == self.extra_terms:
+            return self
+        return CoverageCost(
+            self.topology, self.weights, linalg=self.linalg,
+            extra_terms=normalized,
+        )
 
     def project(self, matrix: np.ndarray) -> np.ndarray:
         """Eq. 11 projection, support-restricted when a mask is present."""
@@ -335,9 +391,9 @@ class CoverageCost:
     # ------------------------------------------------------------------ #
 
     def value(self, matrix_or_state) -> float:
-        """The penalized cost ``U_eps`` (Eq. 9)."""
+        """The penalized cost ``U_eps`` (Eq. 9) plus any plugin terms."""
         state = self._as_state(matrix_or_state)
-        return float(sum(term.value(state) for term in self.terms))
+        return self._sum.value(state)
 
     def evaluate(self, matrix_or_state) -> CostBreakdown:
         """Full decomposition of the cost at a matrix."""
@@ -347,7 +403,13 @@ class CoverageCost:
         penalty_value = self._penalty.value(state)
         energy_value = self._energy.value(state) if self._energy else 0.0
         entropy_value = self._entropy.value(state) if self._entropy else 0.0
+        extra_values = tuple(
+            (name, float(term.value(state)))
+            for (name, _, _), term in zip(self.extra_terms, self._extra)
+        )
         u = coverage_value + exposure_value + energy_value + entropy_value
+        for _, extra in extra_values:
+            u = u + extra
         exposures = self._exposure.exposures(state)
         deviations = self._coverage.deviations(state)
         return CostBreakdown(
@@ -362,6 +424,7 @@ class CoverageCost:
             e_bar=float(np.sqrt(np.sum(exposures**2))),
             coverage_shares=self.coverage_shares(state),
             exposure_times=exposures,
+            extra_values=extra_values,
         )
 
     # ------------------------------------------------------------------ #
@@ -543,6 +606,7 @@ class CoverageCost:
 
             total = coverage + exposure + self._batch_penalties(stack, ok)
             total = self._batch_extensions(pis, stack, total)
+            total = self._batch_extra(pis, stack, diag, e, total)
 
         values[ok] = total[ok]
         values[~np.isfinite(values)] = np.inf
@@ -604,6 +668,30 @@ class CoverageCost:
             total = total - self._entropy.weight * (
                 -np.einsum("ki,ki->k", pis, plogp)
             )
+        return total
+
+    def _batch_extra(
+        self,
+        pis: np.ndarray,
+        stack: np.ndarray,
+        diag: np.ndarray,
+        exposures: np.ndarray,
+        total: np.ndarray,
+    ):
+        """Add the plugin terms' batched values onto ``total``.
+
+        Appended after the extension terms in both the dense and sparse
+        branches, mirroring the scalar composition order; with no
+        plugin terms composed, ``total`` passes through untouched, so
+        the paper objective's bit pattern is unaffected.
+        """
+        if not self._extra:
+            return total
+        batch = TermBatch(
+            pis=pis, stack=stack, diag=diag, exposures=exposures
+        )
+        for term in self._extra:
+            total = total + term.batch_value(batch)
         return total
 
     def _batch_evaluate_sparse(self, stack: np.ndarray, values: np.ndarray):
@@ -677,6 +765,7 @@ class CoverageCost:
                 stack, ok, entries=sup_vals
             )
             total = self._batch_extensions(pis, stack, total)
+            total = self._batch_extra(pis, stack, diag, e, total)
         values[ok] = total[ok]
         values[~np.isfinite(values)] = np.inf
         return values, pis, None, ok

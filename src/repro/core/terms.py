@@ -1,4 +1,4 @@
-"""Objective terms and their analytic partial derivatives.
+"""Objective terms (the ``CostTerm`` protocol) and their analytic partials.
 
 The cost ``U`` is a sum of terms, each a function of the chain state
 ``(pi, Z, P)``.  A term contributes its value and the three partials
@@ -9,7 +9,7 @@ which the gradient engine combines with the Schweitzer adjoints into the
 total derivative ``[D_P U]`` of Eq. (10).  Terms may return ``None`` for a
 partial that is identically zero, which the engine skips.
 
-Implemented terms:
+The paper's terms:
 
 * :class:`CoverageDeviationTerm` — ``sum_i (alpha_i / 2) c_i^2`` with
   ``c_i = sum_{j,k} pi_j p_jk (T_{jk,i} - Phi_i T_jk)`` (Eq. 9, first sum).
@@ -19,12 +19,25 @@ Implemented terms:
   ``D = sum_i pi_i sum_{j != i} p_ij d_ij`` (Section VII).
 * :class:`EntropyTerm` — ``-w H`` with the chain entropy rate ``H``
   (Section VII), i.e. entropy *maximization* inside a minimization.
+
+Plugin terms beyond the paper (registered in
+:data:`repro.core.registry.TERM_REGISTRY`, derivations in
+``docs/math.md`` §9):
+
+* :class:`WorstExposureTerm` — softmax-smoothed minimax worst-PoI
+  exposure (Pinto et al., multi-agent persistent monitoring).
+* :class:`KCoverageShortfallTerm` — squared-hinge shortfall of the
+  per-PoI ``k``-coverage probability for a team of independent sensors
+  (Iyer & Manjunath, k-coverage limit laws).
+* :class:`PeriodicityTerm` — squared-hinge penalty on Kac return times
+  exceeding per-PoI visit periods (point sweep coverage).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional
+import math
+from typing import NamedTuple, Optional
 
 import numpy as np
 
@@ -40,8 +53,34 @@ def broadcast_weights(name: str, weights, size: int) -> np.ndarray:
     return array
 
 
-class ObjectiveTerm(abc.ABC):
-    """A differentiable summand of the cost function."""
+class TermBatch(NamedTuple):
+    """The shared per-probe arrays a batched cost evaluation computes.
+
+    Handed to :meth:`CostTerm.batch_value` so plugin terms ride the
+    line search's stacked evaluation instead of forcing ``k`` scalar
+    state builds.  ``exposures`` rows are only meaningful where the
+    caller's feasibility mask holds — infeasible probes map to ``+inf``
+    afterwards, so garbage rows are never read.
+    """
+
+    pis: np.ndarray        # (k, M) stationary distributions
+    stack: np.ndarray      # (k, M, M) transition matrices
+    diag: np.ndarray       # (k, M) diagonals p_ii
+    exposures: np.ndarray  # (k, M) per-PoI exposure times E-bar_i
+
+
+class CostTerm(abc.ABC):
+    """A differentiable summand of the cost function.
+
+    The objective-layer protocol: a term exposes its :meth:`value` and
+    the partials ``grad_pi`` / ``grad_z`` / ``grad_p``, from which the
+    gradient engine (:mod:`repro.core.gradient`) assembles the analytic
+    total derivative through the shared Schweitzer adjoints.  Terms
+    meant for use as composable plugins additionally implement
+    :meth:`batch_value` so the batched/lockstep line-search paths can
+    evaluate them on a whole probe stack at once (see
+    ``docs/objectives.md``).
+    """
 
     @abc.abstractmethod
     def value(self, state: ChainState) -> float:
@@ -58,6 +97,28 @@ class ObjectiveTerm(abc.ABC):
     def grad_p(self, state: ChainState) -> Optional[np.ndarray]:
         """Direct partial w.r.t. ``P`` (holding ``pi``, ``Z`` fixed)."""
         return None
+
+    def batch_value(self, batch: TermBatch) -> np.ndarray:
+        """Per-probe term values for a stacked evaluation, shape ``(k,)``.
+
+        Must agree with :meth:`value` probe for probe.  The base
+        implementation raises: a term without a batched form cannot be
+        composed into a :class:`~repro.core.cost.CoverageCost`, whose
+        optimizers all evaluate through the batched line search.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement batch_value and "
+            "cannot be used with the batched/lockstep evaluators"
+        )
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether this term overrides :meth:`batch_value`."""
+        return type(self).batch_value is not CostTerm.batch_value
+
+
+#: Historical name of the protocol, kept importable for existing code.
+ObjectiveTerm = CostTerm
 
 
 class CoverageDeviationTerm(ObjectiveTerm):
@@ -115,6 +176,11 @@ class CoverageDeviationTerm(ObjectiveTerm):
         # dU/dp_jk = pi_j sum_i alpha_i c_i B[i, j, k].
         contracted = np.einsum("i,ijk->jk", self.alpha * c, self._b)
         return state.pi[:, None] * contracted
+
+    def batch_value(self, batch: TermBatch) -> np.ndarray:
+        weighted = batch.pis[:, :, None] * batch.stack
+        c = np.einsum("kjl,ijl->ki", weighted, self._b)
+        return 0.5 * np.einsum("i,ki,ki->k", self.alpha, c, c)
 
 
 class SupportCoverageTerm(ObjectiveTerm):
@@ -240,6 +306,9 @@ class SupportCoverageTerm(ObjectiveTerm):
         inner = self._leg_inner(self.deviations(state))
         return np.where(self._support, state.pi[:, None] * inner, 0.0)
 
+    def batch_value(self, batch: TermBatch) -> np.ndarray:
+        return self.batch_deviation_values(batch.pis, batch.stack)
+
 
 class ExposureTerm(ObjectiveTerm):
     """Weighted squared per-PoI average exposure times.
@@ -284,6 +353,10 @@ class ExposureTerm(ObjectiveTerm):
     def value(self, state: ChainState) -> float:
         e = self.exposures(state)
         return float(0.5 * np.sum(self.beta * e * e))
+
+    def batch_value(self, batch: TermBatch) -> np.ndarray:
+        e = batch.exposures
+        return 0.5 * np.einsum("i,ki,ki->k", self.beta, e, e)
 
     def grad_pi(self, state: ChainState) -> np.ndarray:
         if state.linalg == "sparse":
@@ -357,6 +430,13 @@ class EnergyTerm(ObjectiveTerm):
         gap = self.mean_travel(state) - self.target
         return float(0.5 * self.weight * gap * gap)
 
+    def batch_value(self, batch: TermBatch) -> np.ndarray:
+        travel = np.einsum(
+            "ki,kij,ij->k", batch.pis, batch.stack, self.distances
+        )
+        gap = travel - self.target
+        return 0.5 * self.weight * gap * gap
+
     def grad_pi(self, state: ChainState) -> np.ndarray:
         gap = self.mean_travel(state) - self.target
         return self.weight * gap * (state.p * self.distances).sum(axis=1)
@@ -390,6 +470,17 @@ class EntropyTerm(ObjectiveTerm):
     def value(self, state: ChainState) -> float:
         return -self.weight * self.entropy(state)
 
+    def batch_value(self, batch: TermBatch) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            plogp = np.where(
+                batch.stack > 0.0,
+                batch.stack * np.log(batch.stack),
+                0.0,
+            ).sum(axis=2)
+        return -self.weight * (
+            -np.einsum("ki,ki->k", batch.pis, plogp)
+        )
+
     def grad_pi(self, state: ChainState) -> np.ndarray:
         # dH/dpi_i = -sum_j p_ij ln p_ij; value = -w H.
         return self.weight * self._row_plogp(state.p).sum(axis=1)
@@ -399,3 +490,218 @@ class EntropyTerm(ObjectiveTerm):
         with np.errstate(divide="ignore"):
             logs = np.where(state.p > 0.0, np.log(state.p), 0.0)
         return self.weight * state.pi[:, None] * (logs + 1.0)
+
+
+def check_term_weight(weight: float) -> float:
+    """Validate a plugin term's scalar weight (finite, ``>= 0``)."""
+    try:
+        weight = float(weight)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"term weight must be a finite scalar >= 0, got {weight!r}"
+        ) from None
+    if not math.isfinite(weight) or weight < 0:
+        raise ValueError(
+            f"term weight must be finite and >= 0, got {weight}"
+        )
+    return weight
+
+
+class WorstExposureTerm(CostTerm):
+    """Softmax-smoothed minimax worst-PoI exposure (docs/math.md §9a).
+
+    ``U = (w / tau) ln sum_i exp(tau E-bar_i)`` — a smooth upper bound
+    on ``w max_i E-bar_i``, within ``w ln(M)/tau`` of it, so minimizing
+    it drives down the *worst* PoI's exposure rather than the paper's
+    sum-of-squares aggregate (the persistent-monitoring minimax
+    objective of Pinto et al.).  The gradient chains the softmax
+    weights ``s_i`` through the exposure partials of
+    :class:`ExposureTerm`: ``dU/dE-bar_i = w s_i``.
+    """
+
+    def __init__(self, weight: float, tau: float = 8.0) -> None:
+        self.weight = check_term_weight(weight)
+        self.tau = float(tau)
+        if not math.isfinite(self.tau) or self.tau <= 0:
+            raise ValueError(
+                f"tau must be finite and > 0, got {self.tau}"
+            )
+
+    @staticmethod
+    def _smooth_max(exposures: np.ndarray, tau: float) -> np.ndarray:
+        """Row-wise ``(1/tau) logsumexp(tau e)``, shift-stabilized."""
+        e = np.atleast_2d(exposures)
+        shift = e.max(axis=1, keepdims=True)
+        out = shift[:, 0] + np.log(
+            np.exp(tau * (e - shift)).sum(axis=1)
+        ) / tau
+        return out
+
+    def _scale(self, e: np.ndarray) -> np.ndarray:
+        """``dU/dE-bar_i = w softmax(tau e)_i``."""
+        shifted = np.exp(self.tau * (e - e.max()))
+        return self.weight * shifted / shifted.sum()
+
+    def value(self, state: ChainState) -> float:
+        e = ExposureTerm._pieces(state)[0]
+        return float(self.weight * self._smooth_max(e, self.tau)[0])
+
+    def batch_value(self, batch: TermBatch) -> np.ndarray:
+        return self.weight * self._smooth_max(batch.exposures, self.tau)
+
+    def grad_pi(self, state: ChainState) -> np.ndarray:
+        e, _, staying = ExposureTerm._pieces(state)
+        scale = self._scale(e)
+        if state.linalg == "sparse":
+            # Closed form E_i = (1 - pi_i) / (pi_i (1 - p_ii)):
+            # dE_i/dpi_i = -1 / (pi_i^2 (1 - p_ii)); the Z-chain is
+            # absorbed here exactly as in ExposureTerm's sparse split.
+            return -scale / (state.pi**2 * (1.0 - staying))
+        # Dense split: dE_i/dpi_i = -E_i / pi_i.
+        return -scale * e / state.pi
+
+    def grad_z(self, state: ChainState) -> Optional[np.ndarray]:
+        if state.linalg == "sparse":
+            return None
+        e, _, staying = ExposureTerm._pieces(state)
+        scale = self._scale(e)
+        denom = state.pi * (1.0 - staying)
+        grad = np.zeros_like(state.z)
+        # dn_i/dz_ji = -p_ij (j != i); dn_i/dz_ii = 1 - p_ii.
+        grad -= (scale / denom)[None, :] * state.p.T
+        np.fill_diagonal(grad, 0.0)
+        grad[np.diag_indices_from(grad)] = scale * (1.0 - staying) / denom
+        return grad
+
+    def grad_p(self, state: ChainState) -> np.ndarray:
+        e, _, staying = ExposureTerm._pieces(state)
+        scale = self._scale(e)
+        if state.linalg == "sparse":
+            grad = np.zeros_like(state.p)
+            grad[np.diag_indices_from(grad)] = (
+                scale * e / (1.0 - staying)
+            )
+            return grad
+        denom = state.pi * (1.0 - staying)
+        z_diag = np.diag(state.z)
+        diffs = (z_diag[None, :] - state.z).T  # (i, j): z_ii - z_ji
+        grad = (scale / denom)[:, None] * diffs
+        # dE_i/dp_ii = E_i / (1 - p_ii).
+        grad[np.diag_indices_from(grad)] = scale * e / (1.0 - staying)
+        return grad
+
+
+class KCoverageShortfallTerm(CostTerm):
+    """Squared-hinge ``k``-coverage shortfall for teams (math.md §9b).
+
+    A homogeneous team of ``team`` sensors running the schedule
+    independently occupies PoI ``i`` as ``Binomial(team, pi_i)``, so the
+    chance of at-least-``k`` simultaneous coverage is the binomial tail
+    ``q_i = P[Bin(team, pi_i) >= k]`` (the limit-law regime of Iyer &
+    Manjunath).  The term penalizes falling short of ``threshold``:
+
+        ``U = (w/2) sum_i max(0, threshold - q_i)^2``
+
+    A pure ``pi``-term: its whole gradient flows through the stationary
+    adjoint.
+    """
+
+    def __init__(self, weight: float, team: int = 4, k: int = 2,
+                 threshold: float = 0.5) -> None:
+        self.weight = check_term_weight(weight)
+        self.team = int(team)
+        self.k = int(k)
+        self.threshold = float(threshold)
+        if self.team < 1:
+            raise ValueError(f"team must be >= 1, got {self.team}")
+        if not 1 <= self.k <= self.team:
+            raise ValueError(
+                f"k must lie in [1, team={self.team}], got {self.k}"
+            )
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError(
+                f"threshold must lie in (0, 1), got {self.threshold}"
+            )
+        # Tail coefficients C(team, m) for m = k..team, and the exact
+        # derivative prefactor q'(p) = team C(team-1, k-1) p^(k-1)
+        # (1-p)^(team-k).
+        self._orders = np.arange(self.k, self.team + 1)
+        self._coefs = np.array(
+            [math.comb(self.team, int(m)) for m in self._orders],
+            dtype=float,
+        )
+        self._dcoef = self.team * math.comb(self.team - 1, self.k - 1)
+
+    def tail(self, pi: np.ndarray) -> np.ndarray:
+        """``q(pi) = P[Bin(team, pi) >= k]`` elementwise."""
+        p = np.asarray(pi, dtype=float)[..., None]
+        terms = (
+            self._coefs
+            * p ** self._orders
+            * (1.0 - p) ** (self.team - self._orders)
+        )
+        return terms.sum(axis=-1)
+
+    def _shortfall(self, pi: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, self.threshold - self.tail(pi))
+
+    def value(self, state: ChainState) -> float:
+        h = self._shortfall(state.pi)
+        return float(0.5 * self.weight * np.sum(h * h))
+
+    def batch_value(self, batch: TermBatch) -> np.ndarray:
+        h = self._shortfall(batch.pis)
+        return 0.5 * self.weight * np.sum(h * h, axis=1)
+
+    def grad_pi(self, state: ChainState) -> np.ndarray:
+        pi = state.pi
+        h = self._shortfall(pi)
+        dq = (
+            self._dcoef
+            * pi ** (self.k - 1)
+            * (1.0 - pi) ** (self.team - self.k)
+        )
+        return -self.weight * h * dq
+
+
+class PeriodicityTerm(CostTerm):
+    """Squared-hinge visit-periodicity penalty (docs/math.md §9c).
+
+    Kac's formula makes the mean inter-visit time of PoI ``i`` exactly
+    ``1 / pi_i`` transitions; point-sweep coverage asks every PoI to be
+    revisited within a period ``t_i``.  The term penalizes exceedance:
+
+        ``U = (w/2) sum_i max(0, 1/pi_i - t_i)^2``
+
+    Like the k-coverage term it depends on ``pi`` alone, so its exact
+    gradient is one stationary-adjoint application.
+    """
+
+    def __init__(self, weight: float, periods) -> None:
+        self.weight = check_term_weight(weight)
+        self.periods = np.asarray(periods, dtype=float)
+        if self.periods.ndim != 1:
+            raise ValueError(
+                f"periods must be a 1-D per-PoI array, got shape "
+                f"{self.periods.shape}"
+            )
+        if np.any(self.periods <= 0) or not np.all(
+            np.isfinite(self.periods)
+        ):
+            raise ValueError("periods must be finite and > 0")
+
+    def excess(self, pi: np.ndarray) -> np.ndarray:
+        """``max(0, 1/pi_i - t_i)`` — the per-PoI period violations."""
+        return np.maximum(0.0, 1.0 / pi - self.periods)
+
+    def value(self, state: ChainState) -> float:
+        g = self.excess(state.pi)
+        return float(0.5 * self.weight * np.sum(g * g))
+
+    def batch_value(self, batch: TermBatch) -> np.ndarray:
+        g = np.maximum(0.0, 1.0 / batch.pis - self.periods)
+        return 0.5 * self.weight * np.sum(g * g, axis=1)
+
+    def grad_pi(self, state: ChainState) -> np.ndarray:
+        g = self.excess(state.pi)
+        return -self.weight * g / state.pi**2

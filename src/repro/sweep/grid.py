@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.api import OPTIMIZER_REGISTRY
 from repro.core.cost import LINALG_MODES, CostWeights, CoverageCost
 from repro.core.options import coerce_options
+from repro.core.registry import normalize_extra_terms
 from repro.persist import json_digest
 from repro.topology.library import (
     PAPER_TOPOLOGY_IDS,
@@ -73,23 +74,42 @@ class SweepCell:
     starts: int               # multistart portfolio size (else ignored)
     trisection_rounds: int
     linalg: str
+    #: Plugin cost terms, in normalize_extra_terms' canonical triple
+    #: form.  Empty for the paper objective — and then omitted from
+    #: cell_to_dict, so compositions change a cell's digest but bare
+    #: cells keep their historical identity (old sweep directories
+    #: resume cleanly).
+    terms: Tuple = ()
 
 
 def cell_to_dict(cell: SweepCell) -> dict:
     """Plain-JSON form of a cell (the ``"cell"`` record field)."""
-    return asdict(cell)
+    payload = asdict(cell)
+    terms = payload.pop("terms", ())
+    if terms:
+        payload["terms"] = [
+            [name, weight, dict(params)]
+            for name, weight, params in terms
+        ]
+    return payload
 
 
 def cell_from_dict(data: dict) -> SweepCell:
-    """Inverse of :func:`cell_to_dict`; unknown keys raise."""
-    known = {f for f in SweepCell.__dataclass_fields__}
+    """Inverse of :func:`cell_to_dict`; unknown keys raise.
+
+    ``terms`` is optional — records written before the cost-term
+    registry existed simply have no plugin terms.
+    """
+    data = dict(data)
+    terms = data.pop("terms", ())
+    known = {f for f in SweepCell.__dataclass_fields__} - {"terms"}
     unknown = sorted(set(data) - known)
     if unknown:
         raise ValueError(f"unknown cell fields: {', '.join(unknown)}")
     missing = sorted(known - set(data))
     if missing:
         raise ValueError(f"missing cell fields: {', '.join(missing)}")
-    return SweepCell(**data)
+    return SweepCell(terms=normalize_extra_terms(terms), **data)
 
 
 def cell_digest(cell: SweepCell) -> str:
@@ -151,8 +171,17 @@ class SweepGrid:
     trisection_rounds: int = 20
     linalg: str = "auto"
     include_matrix: bool = False
+    #: Plugin cost terms applied to every cell, in any form
+    #: :func:`~repro.core.registry.normalize_extra_terms` accepts
+    #: (canonicalized and validated at construction).
+    terms: Tuple = ()
 
     def __post_init__(self) -> None:
+        # Canonicalize + validate the term composition up front: a bad
+        # term name fails at grid load, not on a shard worker mid-sweep.
+        object.__setattr__(
+            self, "terms", normalize_extra_terms(self.terms)
+        )
         if not self.topologies:
             raise ValueError("grid needs at least one topologies entry")
         if not self.weights:
@@ -275,6 +304,7 @@ class SweepGrid:
                                         self.trisection_rounds
                                     ),
                                     linalg=self.linalg,
+                                    terms=self.terms,
                                 ))
         return cells
 
@@ -291,12 +321,25 @@ class SweepGrid:
             "linalg": self.linalg,
             "include_matrix": self.include_matrix,
         }
+        if self.terms:
+            payload["terms"] = [
+                [name, weight, dict(params)]
+                for name, weight, params in self.terms
+            ]
         return payload
 
     def with_linalg(self, linalg: str) -> "SweepGrid":
         """Copy of the grid with its linalg mode overridden (changes
         every cell digest — a different backend is different work)."""
         return replace(self, linalg=linalg)
+
+    def with_terms(self, terms) -> "SweepGrid":
+        """Copy of the grid with its plugin-term composition replaced.
+
+        A non-empty composition changes every cell digest — optimizing
+        a different objective is different work; passing the current
+        composition leaves digests untouched."""
+        return replace(self, terms=normalize_extra_terms(terms))
 
 
 def grid_from_dict(data: dict) -> SweepGrid:
@@ -309,7 +352,7 @@ def grid_from_dict(data: dict) -> SweepGrid:
     known = {
         "schema", "topologies", "weights", "methods", "seeds",
         "iterations", "starts", "trisection_rounds", "linalg",
-        "include_matrix",
+        "include_matrix", "terms",
     }
     unknown = sorted(set(data) - known)
     if unknown:
@@ -325,6 +368,11 @@ def grid_from_dict(data: dict) -> SweepGrid:
         kwargs["linalg"] = data["linalg"]
     if "include_matrix" in data:
         kwargs["include_matrix"] = bool(data["include_matrix"])
+    if "terms" in data:
+        kwargs["terms"] = tuple(
+            tuple(entry) if isinstance(entry, list) else entry
+            for entry in data["terms"]
+        )
     return SweepGrid(
         topologies=tuple(data.get("topologies") or ()),
         weights=tuple(data.get("weights") or ()),
@@ -388,6 +436,7 @@ def run_cell(cell: SweepCell, topology: Optional[Topology] = None):
             alpha=cell.alpha, beta=cell.beta, epsilon=cell.epsilon
         ),
         linalg=cell.linalg,
+        extra_terms=cell.terms,
     )
     options = coerce_options(
         spec.options_class, _cell_options(cell, spec), method=cell.method

@@ -245,6 +245,11 @@ class TestPublicApiSnapshot:
             # façade
             "optimize", "OptimizerSpec", "OPTIMIZER_REGISTRY",
             "OptimizerOptions", "SearchOptions", "coerce_options",
+            # cost-term registry
+            "CostTerm", "TermBatch", "TermSpec", "TERM_REGISTRY",
+            "CostSum", "ScaledTerm", "build_term",
+            "normalize_extra_terms", "WorstExposureTerm",
+            "KCoverageShortfallTerm", "PeriodicityTerm",
             # exec
             "BACKENDS", "Executor", "SerialExecutor", "ThreadExecutor",
             "ProcessExecutor", "get_executor", "using_executor",

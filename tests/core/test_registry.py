@@ -1,0 +1,313 @@
+"""The cost-term registry, the ``CostSum`` composer, and their contracts.
+
+The decisive tests are the bit-identity checks: the paper's objective
+re-expressed through registry-built terms and ``CostSum`` must match
+``CoverageCost``'s values and gradients exactly — not approximately —
+on both the plain and the fully-extended weight configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostWeights,
+    CoverageCost,
+    optimize,
+    paper_topology,
+)
+from repro.core.gradient import total_derivative
+from repro.core.penalty import BarrierPenalty
+from repro.core.registry import (
+    TERM_REGISTRY,
+    CostSum,
+    ScaledTerm,
+    TermSpec,
+    build_term,
+    normalize_extra_terms,
+)
+from repro.core.terms import CostTerm, KCoverageShortfallTerm
+
+REGISTERED = (
+    "coverage", "exposure", "energy", "entropy",
+    "minimax", "kcoverage", "periodicity",
+)
+
+
+@pytest.fixture
+def interior_matrix(rng):
+    matrix = 0.05 + 0.8 * rng.dirichlet(np.ones(4), size=4)
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+class TestRegistry:
+    def test_registered_names_snapshot(self):
+        assert tuple(TERM_REGISTRY) == REGISTERED
+
+    def test_specs_are_complete(self):
+        for name, spec in TERM_REGISTRY.items():
+            assert isinstance(spec, TermSpec)
+            assert spec.name == name
+            assert spec.summary
+            assert callable(spec.factory)
+
+    def test_build_term_builds_every_entry(self, topology1):
+        for name in TERM_REGISTRY:
+            term = build_term(name, topology1, 0.5)
+            assert isinstance(term, CostTerm)
+            assert term.supports_batch
+
+    def test_unknown_name_rejected(self, topology1):
+        with pytest.raises(ValueError, match="unknown cost term"):
+            build_term("curvature", topology1)
+
+    def test_unknown_param_rejected_by_name(self, topology1):
+        with pytest.raises(ValueError, match="sigma"):
+            build_term("minimax", topology1, 1.0, sigma=2.0)
+
+    def test_param_defaults_applied(self, topology1):
+        term = build_term("kcoverage", topology1, 1.0)
+        assert isinstance(term, KCoverageShortfallTerm)
+        assert (term.team, term.k, term.threshold) == (4, 2, 0.5)
+
+    @pytest.mark.parametrize("weight", [-1.0, float("nan"),
+                                        float("inf"), [1.0, 2.0]])
+    def test_bad_weights_rejected(self, topology1, weight):
+        with pytest.raises(ValueError, match="weight"):
+            build_term("minimax", topology1, weight)
+
+
+class TestNormalizeExtraTerms:
+    def test_none_and_empty(self):
+        assert normalize_extra_terms(None) == ()
+        assert normalize_extra_terms([]) == ()
+
+    def test_accepted_forms_agree(self):
+        canonical = normalize_extra_terms([("minimax", 1.0)])
+        assert normalize_extra_terms(["minimax"]) == canonical
+        assert normalize_extra_terms({"minimax": 1.0}) == canonical
+        assert normalize_extra_terms(
+            [("minimax", 1.0, {})]
+        ) == canonical
+
+    def test_params_sorted_canonically(self):
+        a = normalize_extra_terms(
+            [("kcoverage", 1.0, {"team": 3, "k": 2})]
+        )
+        b = normalize_extra_terms(
+            [("kcoverage", 1.0, {"k": 2, "team": 3})]
+        )
+        assert a == b
+
+    def test_idempotent(self):
+        once = normalize_extra_terms(
+            [("minimax", 0.5, {"tau": 4.0}), "periodicity"]
+        )
+        assert normalize_extra_terms(once) == once
+
+    def test_bare_string_rejected(self):
+        with pytest.raises(TypeError, match="bare string"):
+            normalize_extra_terms("minimax")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown cost term"):
+            normalize_extra_terms([("nonsense", 1.0)])
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="zeta"):
+            normalize_extra_terms([("periodicity", 1.0, {"zeta": 2})])
+
+    def test_overlong_entry_rejected(self):
+        with pytest.raises(ValueError, match="entries"):
+            normalize_extra_terms([("minimax", 1.0, {}, "extra")])
+
+
+class TestCostSum:
+    def test_scaled_term_scales_value_and_partials(
+        self, topology1, interior_matrix
+    ):
+        cost = CoverageCost(topology1, CostWeights())
+        state = cost.build_state(interior_matrix)
+        raw = build_term("minimax", topology1, 1.0)
+        scaled = ScaledTerm(raw, 2.5)
+        assert scaled.value(state) == 2.5 * raw.value(state)
+        np.testing.assert_array_equal(
+            scaled.grad_pi(state), 2.5 * raw.grad_pi(state)
+        )
+        np.testing.assert_array_equal(
+            scaled.grad_z(state), 2.5 * raw.grad_z(state)
+        )
+        assert scaled.supports_batch
+
+    def test_unit_weight_members_are_raw_terms(self, topology1):
+        term = build_term("periodicity", topology1, 1.0)
+        sum_ = CostSum([("periodicity", 1.0, term)])
+        assert sum_.members() == [term]
+        assert sum_.member("periodicity") is term
+
+    def test_non_unit_weight_wraps(self, topology1):
+        term = build_term("periodicity", topology1, 1.0)
+        sum_ = CostSum([("periodicity", 3.0, term)])
+        (member,) = sum_.members()
+        assert isinstance(member, ScaledTerm)
+        assert member.term is term
+
+    def test_unknown_label_rejected(self, topology1):
+        term = build_term("minimax", topology1, 1.0)
+        with pytest.raises(KeyError, match="no term labeled"):
+            CostSum([("minimax", 1.0, term)]).member("exposure")
+
+
+class TestPaperTermsBitIdentical:
+    """The tentpole's equivalence contract: registry-built terms summed
+    by ``CostSum`` reproduce ``CoverageCost`` bit for bit."""
+
+    @pytest.mark.parametrize("weights", [
+        CostWeights(alpha=1.0, beta=0.7, epsilon=1e-3),
+        CostWeights(alpha=1.0, beta=0.7, epsilon=1e-3,
+                    energy_weight=0.02, energy_target=30.0,
+                    entropy_weight=0.05),
+    ])
+    def test_value_and_gradient_match_exactly(
+        self, topology1, interior_matrix, weights
+    ):
+        cost = CoverageCost(topology1, weights)
+        state = cost.build_state(interior_matrix)
+        entries = [
+            ("coverage", 1.0,
+             TERM_REGISTRY["coverage"].factory(topology1, weights.alpha)),
+            ("exposure", 1.0,
+             TERM_REGISTRY["exposure"].factory(topology1, weights.beta)),
+            ("penalty", 1.0,
+             BarrierPenalty(epsilon=weights.epsilon, support=None)),
+        ]
+        if weights.energy_weight > 0:
+            entries.append((
+                "energy", 1.0,
+                TERM_REGISTRY["energy"].factory(
+                    topology1, weights.energy_weight,
+                    target=weights.energy_target,
+                ),
+            ))
+        if weights.entropy_weight > 0:
+            entries.append((
+                "entropy", 1.0,
+                TERM_REGISTRY["entropy"].factory(
+                    topology1, weights.entropy_weight
+                ),
+            ))
+        hand_wired = CostSum(entries)
+        assert hand_wired.value(state) == cost.value(state)
+        np.testing.assert_array_equal(
+            total_derivative(state, hand_wired.members()),
+            cost.gradient(state),
+        )
+
+    def test_cost_terms_are_the_sum_members(self, topology1):
+        cost = CoverageCost(
+            topology1,
+            CostWeights(energy_weight=0.1, entropy_weight=0.1),
+        )
+        assert cost.terms == cost.term_sum.members()
+        assert cost.term_sum.labels == [
+            "coverage", "exposure", "penalty", "energy", "entropy",
+        ]
+
+    def test_paper_batch_values_unchanged_by_empty_composition(
+        self, topology1, rng
+    ):
+        plain = CoverageCost(topology1, CostWeights())
+        composed = plain.with_extra_terms(())
+        stack = 0.05 + 0.8 * rng.dirichlet(np.ones(4), size=(3, 4))
+        stack = stack / stack.sum(axis=2, keepdims=True)
+        np.testing.assert_array_equal(
+            plain.batch_values(stack), composed.batch_values(stack)
+        )
+
+
+class TestEngineCompatibility:
+    def test_scalar_only_term_rejected_at_construction(
+        self, topology1, monkeypatch
+    ):
+        class ScalarOnly(CostTerm):
+            def value(self, state):
+                return 0.0
+
+        monkeypatch.setitem(
+            TERM_REGISTRY,
+            "scalaronly",
+            TermSpec(
+                name="scalaronly",
+                factory=lambda topology, weight: ScalarOnly(),
+                summary="no batch_value",
+            ),
+        )
+        with pytest.raises(ValueError, match="batch_value"):
+            CoverageCost(
+                topology1, CostWeights(),
+                extra_terms=[("scalaronly", 1.0)],
+            )
+
+    def test_base_batch_value_raises(self, topology1):
+        class ScalarOnly(CostTerm):
+            def value(self, state):
+                return 0.0
+
+        term = ScalarOnly()
+        assert not term.supports_batch
+        with pytest.raises(NotImplementedError, match="batch_value"):
+            term.batch_value(None)
+
+
+class TestCostPlumbing:
+    def test_with_extra_terms_noop_returns_self(self, topology1):
+        cost = CoverageCost(topology1, CostWeights())
+        assert cost.with_extra_terms(None) is cost
+        assert cost.with_extra_terms(()) is cost
+        composed = cost.with_extra_terms([("minimax", 0.5)])
+        assert composed.with_extra_terms([("minimax", 0.5)]) is composed
+
+    def test_with_linalg_preserves_extra_terms(self, topology1):
+        cost = CoverageCost(
+            topology1, CostWeights(),
+            extra_terms=[("periodicity", 0.3)],
+        )
+        dense = cost.with_linalg("dense")
+        assert dense.extra_terms == cost.extra_terms
+
+    def test_breakdown_reports_extras(self, topology1, interior_matrix):
+        cost = CoverageCost(
+            topology1, CostWeights(),
+            extra_terms=[("minimax", 0.5), ("kcoverage", 1.0)],
+        )
+        breakdown = cost.evaluate(interior_matrix)
+        assert [name for name, _ in breakdown.extra_values] == [
+            "minimax", "kcoverage",
+        ]
+        assert breakdown.u_eps == pytest.approx(
+            cost.value(interior_matrix)
+        )
+        total = (
+            breakdown.coverage_value + breakdown.exposure_value
+            + breakdown.penalty_value
+            + sum(value for _, value in breakdown.extra_values)
+        )
+        assert breakdown.u_eps == pytest.approx(total)
+
+    def test_facade_terms_keyword(self, topology1):
+        cost = CoverageCost(paper_topology(1), CostWeights())
+        direct = optimize(
+            cost.with_extra_terms([("minimax", 0.5)]),
+            method="adaptive", seed=3,
+            options={"max_iterations": 6, "trisection_rounds": 6},
+        )
+        via_facade = optimize(
+            cost, method="adaptive", seed=3,
+            options={"max_iterations": 6, "trisection_rounds": 6},
+            terms=[("minimax", 0.5)],
+        )
+        assert via_facade.best_u_eps == direct.best_u_eps
+        np.testing.assert_array_equal(
+            via_facade.best_matrix, direct.best_matrix
+        )

@@ -81,6 +81,64 @@ class TestExpansion:
         assert cell_digest(auto) != cell_digest(dense)
 
 
+class TestTermComposition:
+    """Digests must change iff the objective composition changes."""
+
+    def test_digest_changes_with_terms(self):
+        plain = _grid().expand()[0]
+        composed = _grid().with_terms(
+            [("minimax", 0.5, {"tau": 4.0})]
+        ).expand()[0]
+        assert cell_digest(plain) != cell_digest(composed)
+
+    def test_empty_terms_keep_historical_digests(self):
+        # An empty composition must serialize exactly like the pre-terms
+        # schema, so old manifests keep resuming against new code.
+        cell = _grid().expand()[0]
+        assert "terms" not in cell_to_dict(cell)
+        grid_dict = _grid().to_dict()
+        assert "terms" not in grid_dict
+        legacy = cell_to_dict(cell)
+        assert cell_from_dict(legacy) == cell
+        assert cell_digest(cell_from_dict(legacy)) == cell_digest(cell)
+
+    def test_equal_compositions_share_digests(self):
+        a = _grid().with_terms(
+            [("kcoverage", 1.0, {"team": 3, "k": 2})]
+        ).expand()[0]
+        b = _grid().with_terms(
+            [("kcoverage", 1.0, {"k": 2, "team": 3})]
+        ).expand()[0]
+        assert cell_digest(a) == cell_digest(b)
+
+    def test_cell_round_trip_with_terms(self):
+        cell = _grid().with_terms({"periodicity": 0.4}).expand()[0]
+        data = cell_to_dict(cell)
+        assert data["terms"] == [["periodicity", 0.4, {}]]
+        assert cell_from_dict(data) == cell
+
+    def test_grid_json_round_trip_with_terms(self, tmp_path):
+        grid = _grid().with_terms([("minimax", 0.5, {"tau": 2.0})])
+        path = tmp_path / "grid.json"
+        save_grid(grid, path)
+        loaded = load_grid(path)
+        assert loaded.terms == grid.terms
+        assert (
+            [cell_digest(c) for c in loaded.expand()]
+            == [cell_digest(c) for c in grid.expand()]
+        )
+
+    def test_unknown_term_rejected_at_grid_construction(self):
+        with pytest.raises(ValueError, match="unknown cost term"):
+            _grid(terms=[("curvature", 1.0)])
+
+    def test_unknown_term_rejected_at_grid_load(self):
+        data = _grid().to_dict()
+        data["terms"] = [["curvature", 1.0, {}]]
+        with pytest.raises(ValueError, match="unknown cost term"):
+            grid_from_dict(data)
+
+
 class TestTopologyGrouping:
     def test_key_ignores_weights_methods_seeds(self):
         cells = _grid().expand()

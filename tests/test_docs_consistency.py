@@ -57,6 +57,42 @@ class TestDocsExist:
             assert hasattr(repro, name)
 
 
+class TestObjectivesDocs:
+    def test_every_registered_term_documented(self):
+        page = (ROOT / "docs" / "objectives.md").read_text()
+        for name in repro.TERM_REGISTRY:
+            assert f'`"{name}"`' in page, (
+                f"docs/objectives.md does not document term {name!r}"
+            )
+
+    def test_objectives_page_names_the_protocol(self):
+        page = (ROOT / "docs" / "objectives.md").read_text()
+        for needed in (
+            "CostTerm", "TermBatch", "build_term", "CostSum",
+            "normalize_extra_terms", "grad_pi", "grad_z", "grad_p",
+            "batch_value", "--terms", "--weights", "with_extra_terms",
+        ):
+            assert needed in page, f"docs/objectives.md lost {needed!r}"
+
+    @pytest.mark.parametrize("source", [
+        "README.md", "docs/api.md", "docs/math.md",
+    ])
+    def test_objectives_page_linked(self, source):
+        text = (ROOT / source).read_text()
+        assert "objectives.md" in text, (
+            f"{source} does not link docs/objectives.md"
+        )
+
+    def test_cli_term_flags_documented(self):
+        api = (ROOT / "docs" / "api.md").read_text()
+        assert "--terms" in api and "--weights" in api
+
+    def test_math_derives_each_new_term(self):
+        math = (ROOT / "docs" / "math.md").read_text()
+        for needed in ("minimax", "kcoverage", "periodicity", "Kac"):
+            assert needed in math, f"docs/math.md lost {needed!r}"
+
+
 class TestSimulationDocs:
     def test_readme_links_simulation_page(self):
         readme = (ROOT / "README.md").read_text()

@@ -24,6 +24,20 @@ class TestPublicSurface:
         ):
             assert name in repro.__all__
 
+    def test_term_registry_exported(self):
+        for name in (
+            "CostTerm", "TermBatch", "TermSpec", "TERM_REGISTRY",
+            "CostSum", "ScaledTerm", "build_term",
+            "normalize_extra_terms", "WorstExposureTerm",
+            "KCoverageShortfallTerm", "PeriodicityTerm",
+        ):
+            assert name in repro.__all__
+        # The registry order is part of the documented surface.
+        assert tuple(repro.TERM_REGISTRY) == (
+            "coverage", "exposure", "energy", "entropy",
+            "minimax", "kcoverage", "periodicity",
+        )
+
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.markov", "repro.geometry",
         "repro.topology", "repro.simulation", "repro.baselines",
