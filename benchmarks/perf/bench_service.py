@@ -1,0 +1,328 @@
+#!/usr/bin/env python
+"""Benchmark the coverage service against uncached recomputation.
+
+Three claims are measured (see ``docs/service.md``):
+
+1. **Warm-cache speedup** — serving a completed request from the
+   content-addressed store must be at least ``WARM_FLOOR``x faster
+   than recomputing it, and the served payload must be *bit-identical*
+   to the recomputation (same canonical JSON).
+2. **Fan-in under duplicate-heavy load** — a batch in which every
+   unique request appears ``COPIES`` times must run the optimizer
+   exactly once per unique request (asserted on the service's
+   counters) and finish at least ``FANIN_FLOOR``x faster than the
+   no-dedup baseline, which computes every submission independently.
+3. **Checkpoint resume exactness** — a job killed mid-run after its
+   checkpoint resumes to a payload byte-identical to an uninterrupted
+   run.
+
+Results are written to ``benchmarks/results/BENCH_service.json``.
+
+Usage::
+
+    python benchmarks/perf/bench_service.py               # full run
+    python benchmarks/perf/bench_service.py --check-only  # CI smoke
+
+``--check-only`` shrinks the workload, asserts bit-identity, both
+floors, resume exactness, and store validity
+(``tools/check_service_store.py``), and writes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+import repro  # noqa: E402
+from repro.core.api import OPTIMIZER_REGISTRY  # noqa: E402
+from repro.core.options import coerce_options  # noqa: E402
+from repro.core.perturbed import (  # noqa: E402
+    PerturbedWalk,
+    advance_walk,
+)
+from repro.persist import canonical_json  # noqa: E402
+from repro.service import (  # noqa: E402
+    CoverageService,
+    execute_request,
+    optimize_request,
+    request_digest,
+)
+from repro.service.requests import build_cost  # noqa: E402
+from repro.utils.rng import as_generator  # noqa: E402
+
+DEFAULT_OUT = REPO / "benchmarks" / "results" / "BENCH_service.json"
+WARM_FLOOR = 20.0
+FANIN_FLOOR = 1.8
+COPIES = 4
+
+
+class CheckFailure(AssertionError):
+    """A correctness claim the benchmark asserts did not hold."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise CheckFailure(message)
+
+
+def _requests(topology, seeds, iterations):
+    return [
+        optimize_request(
+            topology, seed=seed,
+            options={"max_iterations": iterations,
+                     "trisection_rounds": 8},
+        )
+        for seed in seeds
+    ]
+
+
+def bench_warm_cache(topology, iterations, workdir: Path) -> dict:
+    """Cold compute vs warm cache hit for one request; bit-identity."""
+    request = _requests(topology, [0], iterations)[0]
+    service = CoverageService(workdir / "warm-store")
+
+    started = time.perf_counter()
+    cold_payload = service.run(request)
+    cold = time.perf_counter() - started
+
+    hits = []
+    for _ in range(5):
+        started = time.perf_counter()
+        warm_payload = service.run(request)
+        hits.append(time.perf_counter() - started)
+        _check(
+            canonical_json(warm_payload) == canonical_json(cold_payload),
+            "warm-cache payload differs from the cold computation",
+        )
+    warm = min(hits)
+    _check(
+        canonical_json(cold_payload)
+        == canonical_json(execute_request(request)),
+        "cached payload differs from a direct recomputation",
+    )
+    _check(service.stats.computed == 1,
+           f"expected 1 computation, saw {service.stats.computed}")
+    _check(service.stats.cache_hits == 5,
+           f"expected 5 cache hits, saw {service.stats.cache_hits}")
+    return {
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": cold / warm,
+        "digest": request_digest(request),
+    }
+
+
+def bench_fan_in(topology, seeds, iterations, workdir: Path) -> dict:
+    """Duplicate-heavy batch: fan-in service vs compute-every-submission.
+
+    The no-dedup baseline executes each of the ``unique x COPIES``
+    submissions independently — the pre-service idiom, where every
+    caller runs its own optimizer.  The service must serve the same
+    batch with exactly ``unique`` computations.
+    """
+    unique = _requests(topology, seeds, iterations)
+    batch = [request for request in unique for _ in range(COPIES)]
+
+    started = time.perf_counter()
+    baseline_payloads = [execute_request(request) for request in batch]
+    baseline = time.perf_counter() - started
+
+    service = CoverageService(workdir / "fanin-store")
+    started = time.perf_counter()
+    payloads = service.run(batch)
+    fanned = time.perf_counter() - started
+
+    _check(
+        service.stats.computed == len(unique),
+        f"fan-in ran {service.stats.computed} computations for "
+        f"{len(unique)} unique requests",
+    )
+    _check(
+        service.stats.fan_in_joins == len(batch) - len(unique),
+        f"expected {len(batch) - len(unique)} joins, saw "
+        f"{service.stats.fan_in_joins}",
+    )
+    for served, computed in zip(payloads, baseline_payloads):
+        _check(
+            canonical_json(served) == canonical_json(computed),
+            "fanned-in payload differs from independent recomputation",
+        )
+    return {
+        "unique_requests": len(unique),
+        "copies": COPIES,
+        "submissions": len(batch),
+        "no_dedup_seconds": baseline,
+        "fan_in_seconds": fanned,
+        "computed": service.stats.computed,
+        "fan_in_joins": service.stats.fan_in_joins,
+        "speedup": baseline / fanned,
+    }
+
+
+def check_resume_exactness(topology, workdir: Path) -> None:
+    """Kill after the second accepted step; resume must be exact."""
+    request = optimize_request(
+        topology, seed=11,
+        options={"max_iterations": 25, "trisection_rounds": 8},
+    )
+    reference = execute_request(request)
+
+    service = CoverageService(workdir / "resume-store")
+    checkpoint = service.checkpoint_for(request)
+    cost = build_cost(request)
+    options = coerce_options(
+        OPTIMIZER_REGISTRY["perturbed"].options_class,
+        request.params["options"], method="perturbed",
+    )
+    walk = PerturbedWalk(cost, None, as_generator(11), options)
+    accepted = 0
+    while advance_walk(cost, walk, options):
+        if walk.accepted_steps > accepted:
+            accepted = walk.accepted_steps
+            checkpoint.save(walk.snapshot())
+            if accepted >= 2:
+                break  # the "kill"
+    _check(checkpoint.exists(), "resume check: no checkpoint written")
+    _check(not walk.finished, "resume check: walk finished before kill")
+
+    resumed = service.run(request)
+    _check(
+        canonical_json(resumed) == canonical_json(reference),
+        "resumed payload differs from the uninterrupted run",
+    )
+    _check(not checkpoint.exists(),
+           "resume check: checkpoint survived completion")
+    print("checkpoint resume exactness OK", flush=True)
+
+
+def check_store_validity(workdir: Path) -> None:
+    stores = [
+        str(path) for path in sorted(workdir.glob("*-store"))
+        if (path / "objects").is_dir()
+    ]
+    result = subprocess.run(
+        [sys.executable,
+         str(REPO / "tools" / "check_service_store.py"), *stores],
+        capture_output=True, text=True,
+    )
+    _check(result.returncode == 0,
+           f"store validation failed:\n{result.stderr}")
+    print(f"store validity OK ({len(stores)} store(s))", flush=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--check-only", action="store_true",
+        help="small workload, assert bit-identity, both floors, resume "
+        "exactness, and store validity; write nothing",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"results file (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    topology = repro.paper_topology(1)
+    if args.check_only:
+        iterations, seeds = 20, (0, 1)
+    else:
+        iterations, seeds = 120, (0, 1, 2)
+
+    try:
+        with tempfile.TemporaryDirectory(
+            prefix="bench_service_"
+        ) as tmp:
+            workdir = Path(tmp)
+            warm = bench_warm_cache(topology, iterations, workdir)
+            print(
+                f"warm cache: cold {warm['cold_seconds']:.3f}s | warm "
+                f"{warm['warm_seconds'] * 1e3:.2f}ms -> "
+                f"{warm['speedup']:.0f}x",
+                flush=True,
+            )
+            fanin = bench_fan_in(topology, seeds, iterations, workdir)
+            print(
+                f"fan-in: {fanin['submissions']} submissions "
+                f"({fanin['unique_requests']} unique x {COPIES}) "
+                f"no-dedup {fanin['no_dedup_seconds']:.2f}s | service "
+                f"{fanin['fan_in_seconds']:.2f}s "
+                f"({fanin['computed']} computed, "
+                f"{fanin['fan_in_joins']} joins) -> "
+                f"{fanin['speedup']:.2f}x",
+                flush=True,
+            )
+            check_resume_exactness(topology, workdir)
+            check_store_validity(workdir)
+
+        _check(
+            warm["speedup"] >= WARM_FLOOR,
+            f"warm-cache speedup {warm['speedup']:.1f}x below the "
+            f"{WARM_FLOOR:.0f}x acceptance floor",
+        )
+        _check(
+            fanin["speedup"] >= FANIN_FLOOR,
+            f"duplicate-heavy speedup {fanin['speedup']:.2f}x below "
+            f"the {FANIN_FLOOR:.1f}x acceptance floor",
+        )
+    except CheckFailure as failure:
+        print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1
+
+    if args.check_only:
+        print("all checks passed")
+        return 0
+
+    payload = {
+        "benchmark": "BENCH_service",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "note": (
+            "coverage service vs uncached recomputation on the paper "
+            "topology: warm-cache serves a completed request from the "
+            "content-addressed store (payload asserted bit-identical "
+            "to a direct recomputation via canonical JSON); the "
+            "duplicate-heavy batch submits every unique request "
+            f"{COPIES}x and must run the optimizer exactly once per "
+            "unique request (fan-in counters asserted), beating the "
+            "compute-every-submission baseline; a job killed after "
+            "its second accepted step must resume from its checkpoint "
+            "to the uninterrupted run's exact payload",
+        ),
+        "floors": {
+            "warm_cache_speedup": WARM_FLOOR,
+            "fan_in_speedup": FANIN_FLOOR,
+        },
+        "workload": {
+            "topology": "paper-1",
+            "iterations": iterations,
+            "seeds": list(seeds),
+        },
+        "warm_cache": warm,
+        "fan_in": fanin,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,8 +75,12 @@ from repro.exec import (
 )
 from repro.markov import MarkovChain
 from repro.simulation import (
+    SIMULATOR_REGISTRY,
     SimulationOptions,
     SimulationResult,
+    SimulatorSpec,
+    TeamOptions,
+    simulate,
     simulate_schedule,
 )
 from repro.topology import (
@@ -172,6 +176,11 @@ __all__ = [
     "SimulationOptions",
     "SimulationResult",
     "simulate_schedule",
+    # simulation façade
+    "simulate",
+    "SimulatorSpec",
+    "SIMULATOR_REGISTRY",
+    "TeamOptions",
     # baselines
     "metropolis_hastings_matrix",
     "max_entropy_matrix",

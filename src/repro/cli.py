@@ -11,9 +11,16 @@ Five subcommands mirror the library's workflow::
     python -m repro sweep     --grid grid.json --out sweeps/run1 \\
                               --shards 4 --jobs 4 --resume
     python -m repro tradeoff  --paper 1 --points 6
+    python -m repro submit    --store cache/ --paper 1 --beta 0.5 \\
+                              --iterations 400
+    python -m repro serve     --store cache/ --spool jobs/ \\
+                              --import-sweep sweeps/run1
 
 Every command prints a plain-text report; ``--save*`` options write JSON
-artifacts via :mod:`repro.persist`.
+artifacts via :mod:`repro.persist`.  ``submit`` and ``serve`` front the
+coverage service (:mod:`repro.service`): jobs are content-addressed, so
+repeated submissions of the same work are cache hits, and past sweep
+directories pre-warm the cache via ``--import-sweep``.
 """
 
 from __future__ import annotations
@@ -405,6 +412,100 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _service_from_args(args):
+    """Build the :class:`~repro.service.CoverageService` behind
+    ``submit``/``serve``; ``executor=None`` picks up the scope installed
+    by :func:`main` from ``--jobs``/``--backend``/``--transport``."""
+    from repro.service import CoverageService, ResultStore
+
+    store = ResultStore(args.store, max_bytes=args.max_bytes)
+    service = CoverageService(store)
+    if args.import_sweep:
+        imported, skipped = service.import_sweep(args.import_sweep)
+        print(
+            f"imported {imported} sweep record(s) from "
+            f"{args.import_sweep}"
+            + (f" ({skipped} without a matrix skipped)" if skipped
+               else "")
+        )
+    return service
+
+
+def _cmd_submit(args) -> int:
+    import json
+    import pathlib
+
+    from repro.service import (
+        optimize_request,
+        request_digest,
+        request_from_dict,
+    )
+
+    service = _service_from_args(args)
+    if args.request:
+        request = request_from_dict(
+            json.loads(pathlib.Path(args.request).read_text())
+        )
+    else:
+        topology = _load_topology(args)
+        request = optimize_request(
+            topology,
+            alpha=args.alpha,
+            beta=args.beta,
+            epsilon=args.epsilon,
+            method=args.method,
+            seed=args.seed,
+            options={"max_iterations": args.iterations},
+            terms=_parse_term_flags(args) or (),
+            linalg=args.linalg,
+        )
+    digest = request_digest(request)
+    payload = service.run(request)
+    source = "cache" if service.stats.cache_hits else "fresh computation"
+    print(f"request {digest} [{request.kind}] served from {source}")
+    for key, value in sorted(payload["result"].items()):
+        if not isinstance(value, list):
+            print(f"  {key}: {value}")
+    if args.save_matrix:
+        if "matrix" not in payload:
+            raise SystemExit(
+                f"{request.kind} payloads carry no matrix to save"
+            )
+        persist.save_matrix(
+            np.asarray(payload["matrix"], dtype=float),
+            args.save_matrix,
+        )
+        print(f"matrix saved to {args.save_matrix}")
+    if args.save_payload:
+        pathlib.Path(args.save_payload).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        print(f"payload saved to {args.save_payload}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import serve_spool
+
+    if args.spool is None and args.import_sweep is None:
+        raise SystemExit("provide --spool DIR and/or --import-sweep DIR")
+    service = _service_from_args(args)
+    if args.spool is not None:
+        written = serve_spool(service, args.spool)
+        print(f"answered {len(written)} request(s) in {args.spool}")
+        for path in written:
+            print(f"  {path.name}")
+    stats = service.stats.as_dict()
+    print(
+        f"stats: {stats['submitted']} submitted, "
+        f"{stats['cache_hits']} cache hit(s), "
+        f"{stats['computed']} computed, "
+        f"{stats['fan_in_joins']} fan-in join(s), "
+        f"{stats['imported']} imported"
+    )
+    return 0
+
+
 def _cmd_tradeoff(args) -> int:
     topology = _load_topology(args)
     betas = np.geomspace(args.beta_max, args.beta_min, args.points)
@@ -601,6 +702,79 @@ def build_parser() -> argparse.ArgumentParser:
     _add_term_flags(p_sw)
     _add_parallel_flags(p_sw)
     p_sw.set_defaults(handler=_cmd_sweep)
+
+    p_job = sub.add_parser(
+        "submit",
+        help="submit one job to the content-addressed coverage service",
+    )
+    _add_topology_source(p_job)
+    p_job.add_argument(
+        "--store", required=True,
+        help="result store directory (created if missing)",
+    )
+    p_job.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="LRU size bound for the store (default: unbounded)",
+    )
+    p_job.add_argument(
+        "--request", default=None, metavar="FILE",
+        help=(
+            "request JSON file (schema repro/service-request/v1); "
+            "when given, the optimize flags below are ignored"
+        ),
+    )
+    p_job.add_argument("--alpha", type=float, default=1.0)
+    p_job.add_argument("--beta", type=float, default=1.0)
+    p_job.add_argument("--epsilon", type=float, default=1e-4)
+    p_job.add_argument(
+        "--method", default="perturbed",
+        choices=tuple(OPTIMIZER_REGISTRY),
+    )
+    p_job.add_argument("--iterations", type=int, default=400)
+    p_job.add_argument("--seed", type=int, default=0)
+    p_job.add_argument(
+        "--linalg", choices=LINALG_MODES, default="auto"
+    )
+    _add_term_flags(p_job)
+    p_job.add_argument(
+        "--import-sweep", default=None, metavar="DIR",
+        help="pre-warm the store from a sweep output directory first",
+    )
+    p_job.add_argument("--save-matrix", help="write matrix JSON here")
+    p_job.add_argument(
+        "--save-payload", help="write the raw result payload JSON here"
+    )
+    _add_parallel_flags(p_job)
+    p_job.set_defaults(handler=_cmd_submit)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help=(
+            "answer spooled request files from the coverage service "
+            "(idempotent; re-run to drain new requests)"
+        ),
+    )
+    p_srv.add_argument(
+        "--store", required=True,
+        help="result store directory (created if missing)",
+    )
+    p_srv.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help=(
+            "directory of request JSON files; each NAME.json gains a "
+            "NAME.result.json answer"
+        ),
+    )
+    p_srv.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="LRU size bound for the store (default: unbounded)",
+    )
+    p_srv.add_argument(
+        "--import-sweep", default=None, metavar="DIR",
+        help="pre-warm the store from a sweep output directory",
+    )
+    _add_parallel_flags(p_srv)
+    p_srv.set_defaults(handler=_cmd_serve)
 
     p_par = sub.add_parser(
         "tradeoff", help="trace the coverage/exposure Pareto frontier"

@@ -226,6 +226,69 @@ class TrisectionState:
                 evaluations=self.evaluations, step_bound=self.upper,
             )
 
+    def snapshot(self) -> dict:
+        """JSON-plain snapshot of the search's exact position.
+
+        Captures everything the decision arithmetic depends on — the
+        bracket, the incumbent, the remaining round budget, and (between
+        :meth:`sweep_steps` and :meth:`observe_sweep`) the pending probe
+        grid — so :meth:`restore` continues the search bit-identically.
+        Floats survive the JSON round trip exactly.
+        """
+        payload = {
+            "upper": float(self.upper),
+            "baseline": float(self.baseline),
+            "improvement_rtol": float(self.improvement_rtol),
+            "geometric_decades": int(self.geometric_decades),
+            "evaluations": int(self.evaluations),
+            "rounds_left": int(self._rounds_left),
+            "swept": bool(self._swept),
+        }
+        if getattr(self, "_probes", None) is not None:
+            payload["probes"] = np.asarray(self._probes).tolist()
+        if self._swept:
+            payload["best_step"] = float(self.best_step)
+            payload["best_value"] = float(self.best_value)
+            payload["lo"] = float(self._lo)
+            payload["hi"] = float(self._hi)
+        if self._result is not None:
+            payload["result"] = {
+                "step": self._result.step,
+                "value": self._result.value,
+                "evaluations": self._result.evaluations,
+                "step_bound": self._result.step_bound,
+            }
+        return payload
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "TrisectionState":
+        """Rebuild a search from a :meth:`snapshot` payload."""
+        search = cls(
+            upper=snapshot["upper"],
+            baseline=snapshot["baseline"],
+            rounds=max(int(snapshot["rounds_left"]), 1),
+            improvement_rtol=snapshot["improvement_rtol"],
+            geometric_decades=snapshot["geometric_decades"],
+        )
+        search._rounds_left = int(snapshot["rounds_left"])
+        search.evaluations = int(snapshot["evaluations"])
+        search._swept = bool(snapshot["swept"])
+        if "probes" in snapshot:
+            search._probes = np.asarray(snapshot["probes"], dtype=float)
+        if search._swept:
+            search.best_step = snapshot["best_step"]
+            search.best_value = snapshot["best_value"]
+            search._lo = snapshot["lo"]
+            search._hi = snapshot["hi"]
+        stored = snapshot.get("result")
+        if stored is not None:
+            search._result = LineSearchResult(**stored)
+        elif search._result is not None:
+            # The constructor may have finished an infeasible search the
+            # snapshot still considered open; honor the snapshot.
+            search._result = None
+        return search
+
     def result(
         self, evaluations: Optional[int] = None
     ) -> LineSearchResult:

@@ -37,7 +37,16 @@ from repro.core.linesearch import feasible_step_bound, trisection_search
 from repro.core.options import SearchOptions
 from repro.core.result import IterationRecord, OptimizationResult
 from repro.utils import perf
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import (
+    RandomState,
+    as_generator,
+    generator_from_state,
+    generator_state,
+)
+
+#: Schema tag of :meth:`PerturbedWalk.snapshot` payloads (the service's
+#: mid-run job checkpoints, :mod:`repro.service`).
+WALK_SNAPSHOT_SCHEMA = "repro/walk-snapshot/v1"
 
 
 @dataclass(frozen=True)
@@ -325,6 +334,91 @@ class PerturbedWalk:
         elif self.iteration >= options.max_iterations:
             self._finished = True
 
+    def snapshot(self) -> dict:
+        """JSON-plain snapshot of the walk at an iteration boundary.
+
+        Valid between :meth:`complete_iteration` and the next
+        :meth:`begin_iteration` (per-iteration scratch like the current
+        ray is deliberately not captured).  The snapshot carries the
+        current and best iterates, the bookkeeping counters, the
+        recorded history, and the RNG's exact stream position
+        (:func:`~repro.utils.rng.generator_state`); :meth:`restore`
+        rebuilds derived state — ``(pi, Z)`` factorizations and cost
+        breakdowns — from scratch, which on the dense reference path is
+        bit-identical to the states the reuse path carried (the
+        invariant ``tests/core/test_reuse_and_perf.py`` pins), so a
+        restored walk continues the trajectory bit for bit.
+        """
+        from dataclasses import asdict
+
+        return {
+            "schema": WALK_SNAPSHOT_SCHEMA,
+            "iteration": int(self.iteration),
+            "matrix": self.state.p.tolist(),
+            "best_matrix": np.asarray(self.best_matrix).tolist(),
+            "best_u_eps": float(self.best_u_eps),
+            "stall": int(self.stall),
+            "stop_reason": self.stop_reason,
+            "finished": bool(self._finished),
+            "accepted_steps": int(self.accepted_steps),
+            "accept_factorizations": int(self.accept_factorizations),
+            "rng": generator_state(self.rng),
+            "history": [asdict(record) for record in self.history],
+            "checkpoints": [
+                [int(iteration), np.asarray(matrix).tolist()]
+                for iteration, matrix in self.checkpoints
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        cost: CoverageCost,
+        snapshot: dict,
+        options: PerturbedOptions,
+    ) -> "PerturbedWalk":
+        """Rebuild a walk from a :meth:`snapshot` payload.
+
+        ``cost`` and ``options`` must describe the same problem the
+        snapshot was taken under — they are part of the job's identity,
+        not of the snapshot.
+        """
+        schema = snapshot.get("schema")
+        if schema != WALK_SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"expected schema {WALK_SNAPSHOT_SCHEMA!r}, got "
+                f"{schema!r}"
+            )
+        matrix = np.asarray(snapshot["matrix"], dtype=float)
+        walk = cls(cost, matrix, generator_from_state(snapshot["rng"]),
+                   options)
+        walk.iteration = int(snapshot["iteration"])
+        walk.stall = int(snapshot["stall"])
+        walk.stop_reason = snapshot["stop_reason"]
+        walk._finished = bool(snapshot["finished"])
+        walk.accepted_steps = int(snapshot["accepted_steps"])
+        walk.accept_factorizations = int(
+            snapshot["accept_factorizations"]
+        )
+        best_matrix = np.asarray(snapshot["best_matrix"], dtype=float)
+        walk.best_u_eps = float(snapshot["best_u_eps"])
+        if np.array_equal(best_matrix, matrix):
+            walk.best_matrix = walk.state.p.copy()
+            walk.best_breakdown = walk.breakdown
+        else:
+            walk.best_matrix = best_matrix
+            walk.best_breakdown = cost.evaluate(
+                cost.build_state(best_matrix)
+            )
+        walk.history = [
+            IterationRecord(**record) for record in snapshot["history"]
+        ]
+        walk.checkpoints = [
+            (int(iteration), np.asarray(stored, dtype=float))
+            for iteration, stored in snapshot["checkpoints"]
+        ]
+        return walk
+
     def result(self, run_perf=None) -> OptimizationResult:
         """Package the walk's outcome (best iterate, as the paper
         reports)."""
@@ -345,6 +439,35 @@ class PerturbedWalk:
         )
 
 
+def advance_walk(
+    cost: CoverageCost, walk: PerturbedWalk, options: PerturbedOptions
+) -> bool:
+    """Run one complete iteration of ``walk``; ``False`` once finished.
+
+    The single per-iteration driver shared by :func:`optimize_perturbed`
+    and the service's checkpointing runner (:mod:`repro.service.runner`)
+    — both therefore execute the identical call sequence (ray build,
+    trisection, fallback probe, acceptance), so a job driven with
+    per-iteration checkpointing is bit-identical to a plain run.
+    """
+    spec = walk.begin_iteration()
+    if spec is None:
+        return False
+    ray = cost.ray_batch(spec.matrix, spec.direction)
+    search = trisection_search(
+        upper=spec.bound,
+        baseline=spec.baseline,
+        rounds=options.trisection_rounds,
+        improvement_rtol=options.rtol,
+        geometric_decades=options.geometric_decades,
+        batch_objective=ray,
+    )
+    fallback = walk.choose_step(search)
+    probe = ray.probe_state(fallback) if fallback is not None else None
+    walk.complete_iteration(ray, probe)
+    return True
+
+
 def optimize_perturbed(
     cost: CoverageCost,
     initial: Optional[np.ndarray] = None,
@@ -362,22 +485,8 @@ def optimize_perturbed(
     started = time.perf_counter()
     with perf.perf_scope() as counters:
         walk = PerturbedWalk(cost, initial, rng, options)
-        while True:
-            spec = walk.begin_iteration()
-            if spec is None:
-                break
-            ray = cost.ray_batch(spec.matrix, spec.direction)
-            search = trisection_search(
-                upper=spec.bound,
-                baseline=spec.baseline,
-                rounds=options.trisection_rounds,
-                improvement_rtol=options.rtol,
-                geometric_decades=options.geometric_decades,
-                batch_objective=ray,
-            )
-            fallback = walk.choose_step(search)
-            probe = ray.probe_state(fallback) if fallback is not None else None
-            walk.complete_iteration(ray, probe)
+        while advance_walk(cost, walk, options):
+            pass
 
     return walk.result(
         run_perf=perf.OptimizerPerf.from_counters(

@@ -156,6 +156,18 @@ class Executor:
             results.append(result)
         return results
 
+    def run_one(self, fn: Callable, item):
+        """Apply ``fn`` to a single item through the pool.
+
+        Convenience for callers whose unit of work is one task at a
+        time — the service's job runner
+        (:mod:`repro.service.runner`) routes each job through here so
+        any backend (including the process pool with its shm
+        transport) can be the compute pool.  Timing accounting matches
+        :meth:`map` with a one-item list.
+        """
+        return self.map(fn, [item])[0]
+
     def imap(self, fn: Callable, items: Sequence):
         """Apply ``fn`` to every item, yielding ``(index, result)``
         pairs *as tasks complete* (completion order for the pool

@@ -29,6 +29,7 @@ place and ``benchmarks/perf/bench_team.py`` re-checks it on every run.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -159,10 +160,12 @@ def _sensor_intervals(
 def simulate_team(
     topology: Topology,
     matrices: Sequence[np.ndarray],
-    horizon: float,
+    horizon: Optional[float] = None,
     seed: RandomState = None,
     starts: Optional[Sequence[int]] = None,
     engine: str = "vectorized",
+    *,
+    duration: Optional[float] = None,
 ) -> TeamSimulationResult:
     """Simulate a team of sensors for ``horizon`` seconds.
 
@@ -184,7 +187,25 @@ def simulate_team(
     engine:
         ``"vectorized"`` (default) or the per-event ``"loop"``
         reference; both produce bit-identical results.
+    duration:
+        Deprecated spelling of ``horizon`` kept for drifted callers; it
+        warns and will be removed — use ``repro.simulate(topology,
+        matrices, kind="team", horizon=...)``.
     """
+    if duration is not None:
+        warnings.warn(
+            "simulate_team(duration=...) is deprecated; pass horizon= "
+            "— or use the façade: repro.simulate(topology, matrices, "
+            "kind='team', horizon=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if horizon is None:
+            horizon = duration
+    if horizon is None:
+        raise TypeError(
+            "simulate_team() missing required argument: 'horizon'"
+        )
     if horizon <= 0:
         raise ValueError(f"horizon must be > 0, got {horizon}")
     if engine not in ENGINES:

@@ -24,6 +24,12 @@ TOPOLOGY_SCHEMA = "repro/topology/v1"
 MATRIX_SCHEMA = "repro/matrix/v1"
 RESULT_SCHEMA = "repro/result/v1"
 
+#: Service-layer schema tags (:mod:`repro.service`): the canonical job
+#: request and the content-addressed store record wrapping a completed
+#: job's result payload.
+SERVICE_REQUEST_SCHEMA = "repro/service-request/v1"
+SERVICE_RESULT_SCHEMA = "repro/service-result/v1"
+
 #: Digest algorithm used for content addressing throughout the repo
 #: (shared-memory transport dedup today, result caching tomorrow).
 DIGEST_ALGORITHM = "sha256"
@@ -192,3 +198,58 @@ def save_result(result: OptimizationResult, path: PathLike) -> None:
     pathlib.Path(path).write_text(
         json.dumps(result_to_dict(result), indent=2) + "\n"
     )
+
+
+def pack_service_record(
+    request_digest: str, kind: str, payload: dict
+) -> dict:
+    """Wrap a completed job's ``payload`` in a verifiable store record.
+
+    The record carries the request digest it is keyed under and a digest
+    of its own canonical-JSON payload, so a reader can detect both a
+    mis-filed record and a corrupted/truncated one without any other
+    context (:func:`verify_service_record`).
+    """
+    return {
+        "schema": SERVICE_RESULT_SCHEMA,
+        "request": request_digest,
+        "kind": kind,
+        "payload": payload,
+        "payload_digest": json_digest(payload),
+    }
+
+
+def verify_service_record(record, expected_digest=None) -> dict:
+    """Validate a store record's integrity; return its payload.
+
+    Raises :class:`ValueError` when the record is not a dict, carries
+    the wrong schema tag, is keyed under a different request digest than
+    ``expected_digest``, or its payload does not hash to the recorded
+    ``payload_digest`` (bit rot, torn write, or tampering) — the store
+    treats any of these as a cache miss and recomputes.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(
+            f"service record must be a dict, got {type(record).__name__}"
+        )
+    schema = record.get("schema")
+    if schema != SERVICE_RESULT_SCHEMA:
+        raise ValueError(
+            f"expected schema {SERVICE_RESULT_SCHEMA!r}, got {schema!r}"
+        )
+    if expected_digest is not None and (
+        record.get("request") != expected_digest
+    ):
+        raise ValueError(
+            f"record is keyed for request {record.get('request')!r}, "
+            f"expected {expected_digest!r}"
+        )
+    payload = record.get("payload")
+    recorded = record.get("payload_digest")
+    actual = json_digest(payload)
+    if recorded != actual:
+        raise ValueError(
+            f"payload digest mismatch: recorded {recorded!r}, actual "
+            f"{actual!r}"
+        )
+    return payload

@@ -1,0 +1,89 @@
+"""Fan-in queue: concurrent identical submissions share one computation.
+
+The service keys every job by its request digest
+(:func:`~repro.service.requests.request_digest`).  When a submission
+arrives for a digest that is already being computed, it does not start a
+second computation — it *joins* the in-flight one and receives the same
+result object.  :class:`FanInQueue` implements that claim/join protocol
+on top of asyncio futures; :class:`ServiceStats` counts what happened to
+each submission (cache hit, fan-in join, fresh computation, failure) so
+tests and benchmarks can assert the exactly-once property directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class ServiceStats:
+    """Per-service counters; one increment per submission or outcome.
+
+    ``submitted = cache_hits + fan_in_joins + computed + failures`` once
+    the service drains (a joined submission shares its leader's outcome
+    but is only ever counted as a join).
+    """
+
+    submitted: int = 0
+    cache_hits: int = 0
+    fan_in_joins: int = 0
+    computed: int = 0
+    failures: int = 0
+    imported: int = 0
+    evictions_blocked: int = field(default=0, repr=False)
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "fan_in_joins": self.fan_in_joins,
+            "computed": self.computed,
+            "failures": self.failures,
+            "imported": self.imported,
+        }
+
+
+class FanInQueue:
+    """Digest-keyed claim/join registry of in-flight computations.
+
+    Protocol (single event loop; no internal locking needed):
+
+    * ``claim(digest)`` returns ``(future, leader)``.  The first caller
+      for a digest becomes the **leader** (``leader=True``) and must
+      eventually :meth:`resolve` or :meth:`fail` the future; later
+      callers get the *same* future with ``leader=False`` and simply
+      await it.
+    * ``resolve``/``fail`` settle the future and retire the digest, so
+      the next submission after completion starts a fresh claim (by
+      then the result is in the store, so it will be a cache hit).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    def claim(self, digest: str) -> Tuple[asyncio.Future, bool]:
+        future = self._inflight.get(digest)
+        if future is not None:
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[digest] = future
+        return future, True
+
+    def peek(self, digest: str) -> Optional[asyncio.Future]:
+        """The in-flight future for ``digest``, if any (no claim)."""
+        return self._inflight.get(digest)
+
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    def resolve(self, digest: str, payload: dict) -> None:
+        future = self._inflight.pop(digest)
+        if not future.done():
+            future.set_result(payload)
+
+    def fail(self, digest: str, error: BaseException) -> None:
+        future = self._inflight.pop(digest)
+        if not future.done():
+            future.set_exception(error)

@@ -1,0 +1,257 @@
+"""Content-addressed result store: the service's disk cache.
+
+Completed job payloads live under ``objects/<aa>/<digest>.json`` (two-hex
+fan-out like git's object store), keyed by the request digest and wrapped
+in the verifiable :data:`~repro.persist.SERVICE_RESULT_SCHEMA` record.
+Three properties the service depends on:
+
+* **integrity on read** — every :meth:`ResultStore.get` re-verifies the
+  record (:func:`repro.persist.verify_service_record`); a corrupted,
+  truncated, or mis-filed entry is deleted and reported as a miss, so
+  the runner recomputes instead of serving bit rot;
+* **atomic writes** — records land via ``tmp + os.replace``, so a
+  concurrent reader never observes a torn entry;
+* **bounded size** — when ``max_bytes`` is set, inserts evict
+  least-recently-used entries (file mtime, refreshed on every hit)
+  until the store fits, but never an entry **pinned** by an in-flight
+  fan-in: a result with waiters queued behind it cannot vanish between
+  its computation and its delivery.
+
+:meth:`ResultStore.import_sweep` bulk-imports PR 8 sweep JSONL shards:
+each record's cell is rebuilt, mapped to its canonical service request
+(:func:`~repro.service.requests.request_from_cell`), and stored under
+the digest a live submission of the same work would compute — warming
+the cache from sweeps that ran long before the service existed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import threading
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.persist import (
+    PathLike,
+    pack_service_record,
+    verify_service_record,
+)
+from repro.service.requests import request_digest, request_from_cell
+
+#: Subdirectory holding the addressed records.
+OBJECTS_DIR = "objects"
+
+
+def _is_digest(name: str) -> bool:
+    return len(name) == 64 and all(
+        c in "0123456789abcdef" for c in name
+    )
+
+
+class ResultStore:
+    """Content-addressed, size-bounded, integrity-checked result cache.
+
+    ``max_bytes=None`` (default) disables eviction.  Thread-safe: one
+    lock serializes mutations, which is ample — entries are small JSON
+    files and the store sits behind an asyncio service that already
+    funnels duplicate work into single computations.
+    """
+
+    def __init__(
+        self, root: PathLike, max_bytes: Optional[int] = None
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(
+                f"max_bytes must be positive, got {max_bytes}"
+            )
+        self.root = pathlib.Path(root)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._pins: Dict[str, int] = {}
+        (self.root / OBJECTS_DIR).mkdir(parents=True, exist_ok=True)
+
+    # -------------------------------------------------------------- #
+    # Addressing
+    # -------------------------------------------------------------- #
+
+    def path_for(self, digest: str) -> pathlib.Path:
+        """Where the record for ``digest`` lives (existing or not)."""
+        return self.root / OBJECTS_DIR / digest[:2] / f"{digest}.json"
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def digests(self) -> Iterator[str]:
+        """All stored digests (no integrity check — see :meth:`get`)."""
+        objects = self.root / OBJECTS_DIR
+        for shard in sorted(objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                if _is_digest(entry.stem):
+                    yield entry.stem
+
+    # -------------------------------------------------------------- #
+    # Pinning — eviction protection for in-flight fan-ins
+    # -------------------------------------------------------------- #
+
+    def pin(self, digest: str) -> None:
+        """Protect ``digest`` from eviction until :meth:`unpin`."""
+        with self._lock:
+            self._pins[digest] = self._pins.get(digest, 0) + 1
+
+    def unpin(self, digest: str) -> None:
+        with self._lock:
+            count = self._pins.get(digest, 0) - 1
+            if count > 0:
+                self._pins[digest] = count
+            else:
+                self._pins.pop(digest, None)
+
+    def pinned(self, digest: str):
+        """Context manager holding a pin for the duration of a job."""
+
+        @contextlib.contextmanager
+        def _hold():
+            self.pin(digest)
+            try:
+                yield self
+            finally:
+                self.unpin(digest)
+
+        return _hold()
+
+    def pin_count(self, digest: str) -> int:
+        with self._lock:
+            return self._pins.get(digest, 0)
+
+    # -------------------------------------------------------------- #
+    # Read / write
+    # -------------------------------------------------------------- #
+
+    def get(self, digest: str) -> Optional[dict]:
+        """The verified payload for ``digest``, or ``None`` on miss.
+
+        A record that fails to parse or verify is deleted (it can never
+        become valid again — content addressing means the only fix is
+        recomputation) and reported as a miss.  Hits refresh the entry's
+        mtime, which is the LRU clock.
+        """
+        path = self.path_for(digest)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = verify_service_record(
+                json.loads(text), expected_digest=digest
+            )
+        except ValueError:
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return None
+        with contextlib.suppress(OSError):
+            os.utime(path)
+        return payload
+
+    def put(self, digest: str, kind: str, payload: dict) -> pathlib.Path:
+        """Store ``payload`` under ``digest``; returns the record path.
+
+        Idempotent — content addressing makes every write of the same
+        digest equivalent, so an existing entry is simply refreshed.
+        """
+        path = self.path_for(digest)
+        record = pack_service_record(digest, kind, payload)
+        with self._lock:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(record) + "\n")
+            os.replace(tmp, path)
+            if self.max_bytes is not None:
+                self._evict_locked()
+        return path
+
+    def delete(self, digest: str) -> bool:
+        """Drop an entry; returns whether one existed."""
+        with self._lock:
+            try:
+                self.path_for(digest).unlink()
+            except OSError:
+                return False
+            return True
+
+    # -------------------------------------------------------------- #
+    # Size accounting and LRU eviction
+    # -------------------------------------------------------------- #
+
+    def _entries(self) -> Iterator[Tuple[str, pathlib.Path, os.stat_result]]:
+        for digest in self.digests():
+            path = self.path_for(digest)
+            try:
+                yield digest, path, path.stat()
+            except OSError:
+                continue
+
+    def total_bytes(self) -> int:
+        return sum(stat.st_size for _, _, stat in self._entries())
+
+    def _evict_locked(self) -> None:
+        entries = sorted(
+            self._entries(), key=lambda item: item[2].st_mtime
+        )
+        total = sum(stat.st_size for _, _, stat in entries)
+        for digest, path, stat in entries:
+            if total <= self.max_bytes:
+                break
+            if self._pins.get(digest, 0) > 0:
+                # An in-flight fan-in is about to read or announce this
+                # result; evicting it would recompute work we just did
+                # (or worse, strand waiters).  Skip — the pin holder
+                # unpins when the last waiter is served.
+                continue
+            with contextlib.suppress(OSError):
+                path.unlink()
+                total -= stat.st_size
+
+    def evict_to_fit(self) -> None:
+        """Apply the size bound now (normally runs on every put)."""
+        if self.max_bytes is None:
+            return
+        with self._lock:
+            self._evict_locked()
+
+    # -------------------------------------------------------------- #
+    # Sweep import — pre-warm from PR 8 JSONL shards
+    # -------------------------------------------------------------- #
+
+    def import_sweep(self, out_dir: PathLike) -> Tuple[int, int]:
+        """Import a sweep output directory's completed cells.
+
+        Each streamed record is mapped to its canonical service request;
+        the record's ``"result"`` block (plus its matrix, when the sweep
+        embedded one) becomes the cached payload under that request's
+        digest.  Returns ``(imported, skipped)`` — records without an
+        embedded matrix are skipped, because a service payload promises
+        the optimized matrix and the sweep record alone cannot supply
+        it.  Existing entries are refreshed, not recomputed.
+        """
+        from repro.sweep.grid import cell_from_dict
+        from repro.sweep.stream import iter_sweep_records
+
+        imported = skipped = 0
+        for record in iter_sweep_records(out_dir):
+            matrix = record.get("matrix")
+            if matrix is None:
+                skipped += 1
+                continue
+            cell = cell_from_dict(record["cell"])
+            request = request_from_cell(cell)
+            payload = {
+                "result": record["result"],
+                "matrix": matrix,
+            }
+            self.put(request_digest(request), request.kind, payload)
+            imported += 1
+        return imported, skipped

@@ -13,6 +13,12 @@ from repro.simulation.engine import (
     SimulationOptions,
     simulate_schedule,
 )
+from repro.simulation.api import (
+    SIMULATOR_REGISTRY,
+    SimulatorSpec,
+    TeamOptions,
+    simulate,
+)
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.events import ExposureTracker, IntervalAccumulator
 from repro.simulation.intervals import (
@@ -31,7 +37,11 @@ __all__ = [
     "ENGINES",
     "SimulationOptions",
     "SimulationResult",
+    "simulate",
     "simulate_schedule",
+    "SimulatorSpec",
+    "SIMULATOR_REGISTRY",
+    "TeamOptions",
     "ExposureTracker",
     "IntervalAccumulator",
     "merge_intervals",

@@ -28,6 +28,7 @@ this guarantee in place.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -72,9 +73,11 @@ class SimulationOptions:
 def simulate_schedule(
     topology: Topology,
     matrix: np.ndarray,
-    transitions: int,
+    transitions: Optional[int] = None,
     seed: RandomState = None,
     options: Optional[SimulationOptions] = None,
+    *,
+    steps: Optional[int] = None,
 ) -> SimulationResult:
     """Simulate ``transitions`` Markov transitions of the sensor.
 
@@ -97,7 +100,27 @@ def simulate_schedule(
     the start of the measured window (after warmup) along with the
     destination of every measured transition, i.e. it is the empirical
     distribution of all ``transitions + 1`` states in the measured path.
+
+    ``steps=`` is a deprecated spelling of ``transitions=`` kept for
+    drifted callers; it warns and will be removed — use
+    ``repro.simulate(topology, matrix, kind="single",
+    transitions=...)``.
     """
+    if steps is not None:
+        warnings.warn(
+            "simulate_schedule(steps=...) is deprecated; pass "
+            "transitions= — or use the façade: repro.simulate(topology, "
+            "matrix, kind='single', transitions=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if transitions is None:
+            transitions = steps
+    if transitions is None:
+        raise TypeError(
+            "simulate_schedule() missing required argument: "
+            "'transitions'"
+        )
     options = options or SimulationOptions()
     matrix = check_square("matrix", matrix)
     size = topology.size

@@ -8,6 +8,7 @@ independent runs can be given statistically independent streams.
 
 from __future__ import annotations
 
+import json
 from typing import Sequence, Union
 
 import numpy as np
@@ -66,6 +67,41 @@ def derive_seed(seed: RandomState, index: int) -> int:
     children: Sequence[np.random.SeedSequence] = root.spawn(index + 1)
     state = children[index].generate_state(1, dtype=np.uint64)
     return int(state[0] % (2**63))
+
+
+def generator_state(generator: np.random.Generator) -> dict:
+    """JSON-plain snapshot of a generator's exact stream position.
+
+    The returned dict (bit-generator name plus its ``.state`` payload,
+    which numpy exposes as plain ints and lists) round-trips through
+    :func:`generator_from_state` to a generator that continues the
+    stream bit-identically — the property the service's mid-run job
+    checkpoints rely on (:mod:`repro.service`).
+    """
+    state = generator.bit_generator.state
+
+    def _plain(value):
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, np.integer):
+            return int(value)
+        raise TypeError(f"non-JSON value in RNG state: {value!r}")
+
+    return json.loads(json.dumps(state, default=_plain))
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`generator_state` snapshot."""
+    name = state.get("bit_generator")
+    try:
+        bit_generator_class = getattr(np.random, name)
+    except (TypeError, AttributeError):
+        raise ValueError(
+            f"unknown bit generator {name!r} in RNG snapshot"
+        ) from None
+    bit_generator = bit_generator_class()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
 
 
 def random_simplex_row(

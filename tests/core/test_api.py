@@ -262,6 +262,9 @@ class TestPublicApiSnapshot:
             "scalable_topology", "SCALABLE_FAMILIES",
             # simulation
             "SimulationOptions", "SimulationResult", "simulate_schedule",
+            # simulation façade
+            "simulate", "SimulatorSpec", "SIMULATOR_REGISTRY",
+            "TeamOptions",
             # baselines
             "metropolis_hastings_matrix", "max_entropy_matrix",
             "uniform_policy_matrix", "proportional_matrix",

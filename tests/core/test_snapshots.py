@@ -1,0 +1,158 @@
+"""Optimizer state-machine snapshots: kill/resume bit-identity.
+
+The service's job checkpoints (:mod:`repro.service`) serialize a
+:class:`~repro.core.perturbed.PerturbedWalk` at an iteration boundary
+and later restore it — possibly in another process — so the contract
+here is strict: a walk resumed from a JSON round-tripped snapshot must
+finish with a trajectory *bit-identical* to the uninterrupted run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostWeights, CoverageCost
+from repro.core.linesearch import TrisectionState, trisection_search
+from repro.core.perturbed import (
+    WALK_SNAPSHOT_SCHEMA,
+    PerturbedOptions,
+    PerturbedWalk,
+    advance_walk,
+    optimize_perturbed,
+)
+from repro.topology.library import paper_topology
+from repro.utils.rng import (
+    as_generator,
+    generator_from_state,
+    generator_state,
+)
+
+
+@pytest.fixture(scope="module")
+def cost():
+    topology = paper_topology(1)
+    return CoverageCost(topology, CostWeights(alpha=1.0, beta=1.0))
+
+
+OPTIONS = PerturbedOptions(
+    max_iterations=24, stall_limit=100, trisection_rounds=8,
+    geometric_decades=6,
+)
+
+
+class TestGeneratorState:
+    def test_round_trip_continues_stream(self):
+        rng = as_generator(123)
+        rng.normal(size=7)  # advance the stream
+        resumed = generator_from_state(generator_state(rng))
+        assert np.array_equal(rng.normal(size=16),
+                              resumed.normal(size=16))
+
+    def test_snapshot_is_json_plain(self):
+        state = generator_state(as_generator(5))
+        assert state == json.loads(json.dumps(state))
+
+    def test_unknown_bit_generator_rejected(self):
+        with pytest.raises(ValueError, match="bit generator"):
+            generator_from_state({"bit_generator": "NoSuchBG"})
+
+
+class TestWalkSnapshot:
+    def _run_interrupted(self, cost, kill_after):
+        """Run to ``kill_after`` iterations, snapshot, JSON round-trip,
+        restore, finish."""
+        walk = PerturbedWalk(cost, None, as_generator(7), OPTIONS)
+        while walk.iteration < kill_after and advance_walk(
+            cost, walk, OPTIONS
+        ):
+            pass
+        snapshot = json.loads(json.dumps(walk.snapshot()))
+        resumed = PerturbedWalk.restore(cost, snapshot, OPTIONS)
+        while advance_walk(cost, resumed, OPTIONS):
+            pass
+        return resumed.result()
+
+    @pytest.mark.parametrize("kill_after", [0, 1, 9])
+    def test_resume_bit_identical(self, cost, kill_after):
+        uninterrupted = optimize_perturbed(cost, seed=7, options=OPTIONS)
+        resumed = self._run_interrupted(cost, kill_after)
+        assert resumed.best_u_eps == uninterrupted.best_u_eps
+        assert resumed.best_matrix.tobytes() == \
+            uninterrupted.best_matrix.tobytes()
+        assert resumed.iterations == uninterrupted.iterations
+        assert resumed.stop_reason == uninterrupted.stop_reason
+        assert resumed.history == uninterrupted.history
+
+    def test_snapshot_schema_and_json_plain(self, cost):
+        walk = PerturbedWalk(cost, None, as_generator(3), OPTIONS)
+        advance_walk(cost, walk, OPTIONS)
+        snapshot = walk.snapshot()
+        assert snapshot["schema"] == WALK_SNAPSHOT_SCHEMA
+        assert snapshot == json.loads(json.dumps(snapshot))
+        assert snapshot["iteration"] == 1
+
+    def test_restore_rejects_wrong_schema(self, cost):
+        with pytest.raises(ValueError, match="schema"):
+            PerturbedWalk.restore(cost, {"schema": "bogus"}, OPTIONS)
+
+    def test_finished_walk_stays_finished(self, cost):
+        walk = PerturbedWalk(
+            cost, None, as_generator(1),
+            PerturbedOptions(max_iterations=2, stall_limit=100,
+                             trisection_rounds=4, geometric_decades=4),
+        )
+        options = walk.options
+        while advance_walk(cost, walk, options):
+            pass
+        restored = PerturbedWalk.restore(cost, walk.snapshot(), options)
+        assert restored.finished
+        assert restored.begin_iteration() is None
+
+
+class TestTrisectionSnapshot:
+    def _objective(self):
+        return lambda steps: (np.asarray(steps) - 0.3) ** 2 + 1.0
+
+    def test_mid_search_resume_identical(self):
+        objective = self._objective()
+        plain = trisection_search(
+            batch_objective=objective, upper=1.0, baseline=1.2,
+            rounds=12,
+        )
+
+        search = TrisectionState(upper=1.0, baseline=1.2, rounds=12)
+        search.observe_sweep(objective(search.sweep_steps()))
+        for _ in range(4):  # part of the refinement, then "die"
+            pair = search.round_steps()
+            v1, v2 = objective(pair)
+            search.observe_round(v1, v2)
+        snapshot = json.loads(json.dumps(search.snapshot()))
+
+        resumed = TrisectionState.restore(snapshot)
+        while True:
+            pair = resumed.round_steps()
+            if pair is None:
+                break
+            v1, v2 = objective(pair)
+            resumed.observe_round(v1, v2)
+        outcome = resumed.result()
+        assert outcome.step == plain.step
+        assert outcome.value == plain.value
+
+    def test_pre_sweep_snapshot_keeps_pending_probes(self):
+        search = TrisectionState(upper=2.0, baseline=5.0, rounds=3)
+        probes = search.sweep_steps()
+        restored = TrisectionState.restore(
+            json.loads(json.dumps(search.snapshot()))
+        )
+        assert np.array_equal(restored._probes, probes)
+        objective = self._objective()
+        restored.observe_sweep(objective(restored._probes))
+        assert restored.best_step > 0.0
+
+    def test_finished_search_round_trips(self):
+        search = TrisectionState(upper=0.0, baseline=1.0)
+        restored = TrisectionState.restore(search.snapshot())
+        assert restored.finished
+        assert restored.result() == search.result()

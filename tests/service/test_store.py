@@ -1,0 +1,241 @@
+"""Content-addressed store: integrity, atomicity, LRU, pin protection."""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.persist import json_digest, pack_service_record
+from repro.service import (
+    CoverageService,
+    ResultStore,
+    optimize_request,
+    request_digest,
+    request_from_cell,
+)
+
+
+def _digest_of(payload):
+    """A syntactically valid store key for a synthetic payload."""
+    return json_digest(payload)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        payload = {"result": {"u": 1.5}, "matrix": [[1.0]]}
+        digest = _digest_of(payload)
+        store.put(digest, "optimize", payload)
+        assert digest in store
+        assert store.get(digest) == payload
+
+    def test_miss_returns_none(self, store):
+        assert store.get("0" * 64) is None
+        assert "0" * 64 not in store
+
+    def test_put_is_idempotent(self, store):
+        payload = {"result": {"u": 2.0}}
+        digest = _digest_of(payload)
+        first = store.put(digest, "optimize", payload)
+        second = store.put(digest, "optimize", payload)
+        assert first == second
+        assert store.get(digest) == payload
+
+    def test_sharded_layout(self, store):
+        payload = {"result": {}}
+        digest = _digest_of(payload)
+        path = store.put(digest, "optimize", payload)
+        assert path.parent.name == digest[:2]
+        assert path.name == f"{digest}.json"
+
+    def test_digests_enumerates(self, store):
+        digests = set()
+        for value in range(3):
+            payload = {"result": {"u": float(value)}}
+            digest = _digest_of(payload)
+            store.put(digest, "optimize", payload)
+            digests.add(digest)
+        assert set(store.digests()) == digests
+
+    def test_delete(self, store):
+        payload = {"result": {}}
+        digest = _digest_of(payload)
+        store.put(digest, "optimize", payload)
+        assert store.delete(digest)
+        assert not store.delete(digest)
+        assert store.get(digest) is None
+
+
+class TestIntegrity:
+    def test_corrupted_payload_is_a_miss_and_removed(self, store):
+        payload = {"result": {"u": 3.0}}
+        digest = _digest_of(payload)
+        path = store.put(digest, "optimize", payload)
+        record = json.loads(path.read_text())
+        record["payload"]["result"]["u"] = 999.0  # flip a value
+        path.write_text(json.dumps(record))
+        assert store.get(digest) is None
+        assert not path.exists(), "corrupt entry must be removed"
+
+    def test_truncated_file_is_a_miss_and_removed(self, store):
+        payload = {"result": {"u": 4.0}}
+        digest = _digest_of(payload)
+        path = store.put(digest, "optimize", payload)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert store.get(digest) is None
+        assert not path.exists()
+
+    def test_misfiled_record_is_a_miss(self, store):
+        """A record stored under a digest it wasn't packed for."""
+        payload = {"result": {"u": 5.0}}
+        right = _digest_of(payload)
+        wrong = "f" * 64
+        record = pack_service_record(right, "optimize", payload)
+        path = store.path_for(wrong)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(record))
+        assert store.get(wrong) is None
+        assert store.get(right) is None  # never stored there
+
+    def test_wrong_schema_is_a_miss(self, store):
+        digest = "a" * 64
+        path = store.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"schema": "repro/matrix/v1"}))
+        assert store.get(digest) is None
+
+    def test_corrupt_entry_triggers_recompute(self, tmp_path):
+        """End to end: a corrupted cache entry is recomputed, and the
+        recomputed payload is bit-identical to the original."""
+        topology = repro.paper_topology(1)
+        request = optimize_request(
+            topology, seed=2,
+            options={"max_iterations": 8, "trisection_rounds": 6},
+        )
+        service = CoverageService(tmp_path / "store")
+        original = service.run(request)
+        digest = request_digest(request)
+        path = service.store.path_for(digest)
+        path.write_text(path.read_text()[:40])  # truncate
+        recomputed = service.run(request)
+        assert recomputed == original
+        assert service.stats.computed == 2
+        assert service.stats.cache_hits == 0
+        # and the healed entry verifies again
+        assert service.store.get(digest) == original
+
+
+class TestEviction:
+    def _fill(self, store, count, size=2000):
+        digests = []
+        for value in range(count):
+            payload = {"result": {"v": value, "pad": "x" * size}}
+            digest = _digest_of(payload)
+            store.put(digest, "optimize", payload)
+            digests.append(digest)
+        return digests
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        digests = self._fill(store, 10)
+        assert all(d in store for d in digests)
+
+    def test_lru_evicts_oldest_first(self, tmp_path):
+        store = ResultStore(tmp_path / "store", max_bytes=9000)
+        digests = self._fill(store, 4)
+        # ~2kB each with a 9kB bound: the earliest entries are gone,
+        # the most recent survive.
+        assert digests[-1] in store
+        assert store.total_bytes() <= 9000
+        assert digests[0] not in store
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        store = ResultStore(tmp_path / "store", max_bytes=7000)
+        digests = self._fill(store, 3)
+        # Touch the oldest so it becomes the newest...
+        now = os.stat(store.path_for(digests[-1])).st_mtime
+        os.utime(store.path_for(digests[0]), (now + 1, now + 1))
+        # ...then overflow: the untouched middle entry goes first.
+        extra = self._fill(store, 1, size=2500)
+        assert digests[0] in store
+        assert digests[1] not in store
+        assert extra[0] in store
+
+    def test_pinned_entry_never_evicted(self, tmp_path):
+        store = ResultStore(tmp_path / "store", max_bytes=5000)
+        payload = {"result": {"keep": True, "pad": "x" * 2000}}
+        keep = _digest_of(payload)
+        store.put(keep, "optimize", payload)
+        with store.pinned(keep):
+            self._fill(store, 5)
+            assert keep in store, "pinned entry evicted under pressure"
+            assert store.get(keep) == payload
+        # after release it competes like any other entry
+        assert store.pin_count(keep) == 0
+
+    def test_pin_counts_nest(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.pin("a" * 64)
+        store.pin("a" * 64)
+        assert store.pin_count("a" * 64) == 2
+        store.unpin("a" * 64)
+        assert store.pin_count("a" * 64) == 1
+        store.unpin("a" * 64)
+        assert store.pin_count("a" * 64) == 0
+
+    def test_bad_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultStore(tmp_path / "store", max_bytes=0)
+
+
+class TestSweepImport:
+    @pytest.fixture(scope="class")
+    def sweep_dir(self, tmp_path_factory):
+        from repro.sweep import SweepGrid, run_sweep
+
+        out = tmp_path_factory.mktemp("sweep") / "out"
+        grid = SweepGrid(
+            topologies=({"family": "paper", "sizes": [1]},),
+            weights=({"alpha": 1.0, "beta": 1.0},),
+            methods=("perturbed",), seeds=(0, 1), iterations=6,
+            include_matrix=True,
+        )
+        run_sweep(grid, out)
+        return grid, out
+
+    def test_import_warms_cache_under_live_digests(
+        self, sweep_dir, tmp_path
+    ):
+        grid, out = sweep_dir
+        service = CoverageService(tmp_path / "store")
+        imported, skipped = service.import_sweep(out)
+        assert (imported, skipped) == (2, 0)
+        assert service.stats.imported == 2
+        # every cell's live submission is now a cache hit
+        for cell in grid.expand():
+            service.run(request_from_cell(cell))
+        assert service.stats.computed == 0
+        assert service.stats.cache_hits == len(grid.expand())
+
+    def test_records_without_matrix_are_skipped(
+        self, tmp_path
+    ):
+        from repro.sweep import SweepGrid, run_sweep
+
+        out = tmp_path / "bare"
+        grid = SweepGrid(
+            topologies=({"family": "paper", "sizes": [1]},),
+            weights=({"alpha": 1.0, "beta": 1.0},),
+            methods=("adaptive",), seeds=(0,), iterations=4,
+            include_matrix=False,
+        )
+        run_sweep(grid, out)
+        store = ResultStore(tmp_path / "store")
+        imported, skipped = store.import_sweep(out)
+        assert (imported, skipped) == (0, 1)

@@ -33,6 +33,7 @@ class TestDocsExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
         "docs/math.md", "docs/performance.md", "docs/simulation.md",
+        "docs/api.md", "docs/service.md",
     ])
     def test_file_present_and_nonempty(self, name):
         path = ROOT / name

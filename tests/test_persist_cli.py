@@ -274,3 +274,96 @@ class TestCliParallel:
             "--iterations", "5", "--jobs", "2", "--backend", "thread",
         ]) == 0
         assert "U_eps=" in capsys.readouterr().out
+
+
+class TestCliService:
+    def test_submit_computes_then_hits_cache(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = [
+            "submit", "--store", store, "--paper", "1",
+            "--iterations", "8", "--seed", "3",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "fresh computation" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "served from cache" in second
+        # the result lines are identical either way
+        strip = lambda out: [l for l in out.splitlines()
+                             if l.startswith("  ")]
+        assert strip(first) == strip(second)
+
+    def test_submit_saves_matrix(self, tmp_path, capsys):
+        matrix_path = tmp_path / "P.json"
+        assert main([
+            "submit", "--store", str(tmp_path / "store"),
+            "--paper", "1", "--iterations", "5",
+            "--save-matrix", str(matrix_path),
+        ]) == 0
+        matrix = load_matrix(matrix_path)
+        assert matrix.shape == (4, 4)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_submit_request_file(self, tmp_path, capsys):
+        from repro import metropolis_hastings_matrix
+        from repro.service import request_to_dict, simulation_request
+
+        topology = paper_topology(1)
+        matrix = metropolis_hastings_matrix(topology.target_shares)
+        request_path = tmp_path / "req.json"
+        request_path.write_text(json.dumps(request_to_dict(
+            simulation_request(topology, matrix, transitions=100,
+                               seed=1)
+        )))
+        assert main([
+            "submit", "--store", str(tmp_path / "store"),
+            "--request", str(request_path),
+        ]) == 0
+        assert "[simulate]" in capsys.readouterr().out
+
+    def test_serve_spool_roundtrip(self, tmp_path, capsys):
+        from repro import metropolis_hastings_matrix
+        from repro.persist import verify_service_record
+        from repro.service import request_to_dict, simulation_request
+
+        topology = paper_topology(1)
+        matrix = metropolis_hastings_matrix(topology.target_shares)
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        (spool / "job.json").write_text(json.dumps(request_to_dict(
+            simulation_request(topology, matrix, transitions=100,
+                               seed=1)
+        )))
+        store = str(tmp_path / "store")
+        assert main(["serve", "--store", store, "--spool",
+                     str(spool)]) == 0
+        out = capsys.readouterr().out
+        assert "answered 1 request(s)" in out
+        record = json.loads((spool / "job.result.json").read_text())
+        assert verify_service_record(record)
+        # idempotent second pass
+        assert main(["serve", "--store", store, "--spool",
+                     str(spool)]) == 0
+        assert "answered 0 request(s)" in capsys.readouterr().out
+
+    def test_serve_requires_work(self, tmp_path):
+        with pytest.raises(SystemExit, match="spool"):
+            main(["serve", "--store", str(tmp_path / "store")])
+
+    def test_serve_import_sweep(self, tmp_path, capsys):
+        from repro.sweep import SweepGrid, run_sweep
+
+        out = tmp_path / "sweep"
+        grid = SweepGrid(
+            topologies=({"family": "paper", "sizes": [1]},),
+            weights=({"alpha": 1.0, "beta": 1.0},),
+            methods=("perturbed",), seeds=(0,), iterations=5,
+            include_matrix=True,
+        )
+        run_sweep(grid, out)
+        assert main([
+            "serve", "--store", str(tmp_path / "store"),
+            "--import-sweep", str(out),
+        ]) == 0
+        assert "imported 1 sweep record(s)" in capsys.readouterr().out

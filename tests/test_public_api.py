@@ -42,12 +42,60 @@ class TestPublicSurface:
         "repro.core", "repro.markov", "repro.geometry",
         "repro.topology", "repro.simulation", "repro.baselines",
         "repro.experiments", "repro.utils", "repro.exec",
-        "repro.sweep",
+        "repro.sweep", "repro.service",
     ])
     def test_subpackages_importable(self, module):
         imported = importlib.import_module(module)
         for name in getattr(imported, "__all__", []):
             assert hasattr(imported, name), f"{module} missing {name}"
+
+
+class TestDeprecatedSpellings:
+    """Drifted keyword spellings warn and name the façade equivalent."""
+
+    @pytest.fixture(scope="class")
+    def topology(self):
+        return repro.paper_topology(1)
+
+    @pytest.fixture(scope="class")
+    def matrix(self, topology):
+        return repro.metropolis_hastings_matrix(topology.target_shares)
+
+    def test_simulate_schedule_steps_warns(self, topology, matrix):
+        with pytest.warns(DeprecationWarning, match="repro.simulate"):
+            deprecated = repro.simulate_schedule(
+                topology, matrix, steps=200, seed=3
+            )
+        current = repro.simulate_schedule(
+            topology, matrix, transitions=200, seed=3
+        )
+        assert deprecated.coverage_shares.tobytes() == \
+            current.coverage_shares.tobytes()
+
+    def test_simulate_team_duration_warns(self, topology, matrix):
+        from repro.multisensor import simulate_team
+
+        with pytest.warns(DeprecationWarning, match="repro.simulate"):
+            deprecated = simulate_team(
+                topology, [matrix], duration=300.0, seed=3
+            )
+        current = simulate_team(topology, [matrix], horizon=300.0,
+                                seed=3)
+        assert deprecated.coverage_shares.tobytes() == \
+            current.coverage_shares.tobytes()
+
+    def test_explicit_spelling_takes_precedence(self, topology, matrix):
+        with pytest.warns(DeprecationWarning):
+            result = repro.simulate_schedule(
+                topology, matrix, transitions=150, steps=999, seed=1
+            )
+        assert result.transitions == 150
+
+    def test_missing_required_argument_still_typeerror(
+        self, topology, matrix
+    ):
+        with pytest.raises(TypeError, match="transitions"):
+            repro.simulate_schedule(topology, matrix)
 
 
 class TestQuickstart:
